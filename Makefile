@@ -1,0 +1,38 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-paper examples demo clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+test-verbose:
+	$(PYTHON) -m pytest tests/ -v
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-paper:
+	REPRO_BENCH_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/session_store.py
+	$(PYTHON) examples/bank_transfers.py
+	$(PYTHON) examples/failover_timeline.py
+	$(PYTHON) examples/elastic_scaleout.py
+	$(PYTHON) examples/ycsb_suite.py
+
+demo:
+	$(PYTHON) -m repro demo
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +
+
+apidoc:
+	$(PYTHON) tools/gen_api_docs.py

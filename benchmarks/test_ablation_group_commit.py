@@ -1,0 +1,69 @@
+"""Ablation: group-commit window of the TM's recovery log.
+
+Section 4.1 notes the logging sub-component "supports group commit".  This
+bench sweeps the group-commit window at a fixed offered load and reports
+commit latency against log-device syncs per second: a wider window trades
+a bounded latency increase for a large reduction in sync operations (and
+hence much higher sustainable commit rates on the same device).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _harness import (
+    OFFERED_TPS,
+    STEADY_RUN,
+    base_config,
+    build_cluster,
+    emit,
+)
+from repro.metrics import format_table
+from repro.workload import WorkloadDriver
+
+WINDOWS = [0.0, 0.001, 0.003, 0.010]
+
+
+def run_window(window: float, seed: int):
+    config = base_config(seed=seed)
+    config.txn.group_commit_interval = window
+    cluster = build_cluster(config)
+    result = WorkloadDriver(cluster).run(duration=STEADY_RUN, target_tps=OFFERED_TPS)
+    log_stats = cluster.tm.log.stats
+    return {
+        "window_ms": window * 1000,
+        "tps": result.achieved_tps,
+        "mean_ms": result.latency.mean * 1000,
+        "syncs": log_stats.syncs,
+        "mean_group": log_stats.mean_group_size,
+        "syncs_per_commit": log_stats.syncs / max(log_stats.appended, 1),
+    }
+
+
+def run_ablation():
+    return [run_window(w, seed=800 + i) for i, w in enumerate(WINDOWS)]
+
+
+def test_group_commit_tradeoff(benchmark):
+    points = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit("ablation_group_commit", format_table(
+        ["window (ms)", "tps", "mean rt (ms)", "log syncs", "mean group",
+         "syncs/commit"],
+        [(p["window_ms"], f"{p['tps']:.0f}", f"{p['mean_ms']:.2f}",
+          p["syncs"], f"{p['mean_group']:.1f}", f"{p['syncs_per_commit']:.3f}")
+         for p in points],
+        title="Ablation: TM recovery-log group-commit window "
+              f"({OFFERED_TPS:.0f} tps offered)",
+    ))
+    by_window = {p["window_ms"]: p for p in points}
+    # Wider windows amortise more commits per sync...
+    assert by_window[10.0]["mean_group"] > by_window[0.0]["mean_group"] * 2
+    assert by_window[10.0]["syncs_per_commit"] < by_window[0.0]["syncs_per_commit"]
+    # ...at a bounded latency cost (less than the window width itself).
+    assert (
+        by_window[10.0]["mean_ms"] - by_window[0.0]["mean_ms"] < 15.0
+    ), "group commit latency penalty should stay near the window width"
+    # Throughput keeps tracking the offered load at every window.
+    for p in points:
+        assert p["tps"] > OFFERED_TPS * 0.9

@@ -1,0 +1,90 @@
+"""Figure 2(a): response time vs throughput, synchronous vs asynchronous
+persistence.
+
+Synchronous baseline: durability comes from the store -- every update is
+WAL-synced to the replicated filesystem and the flush is part of the commit
+path.  Asynchronous (the paper's approach): commit returns once the TM's
+recovery log is durable; the store receives and persists the write-set
+afterwards.
+
+Expected shape: the async curve sits below the sync curve at every offered
+load, and async sustains a higher peak throughput.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _harness import (
+    N_CLIENT_THREADS,
+    PAPER,
+    STEADY_RUN,
+    WARMUP,
+    base_config,
+    build_cluster,
+    emit,
+    run_workload,
+)
+from repro.metrics import format_table
+
+LOADS = [60, 120, 180, 240, 300, 360, 420, 480, 540]
+
+
+def run_mode(mode: str, offered: float, seed: int):
+    config = base_config(seed=seed)
+    if mode == "sync":
+        config.kv.wal_sync_mode = "sync"
+        config.recovery.enabled = False  # durability is the store's job
+    cluster = build_cluster(config)
+    result = run_workload(cluster, duration=STEADY_RUN, target_tps=offered)
+    return {
+        "offered": offered,
+        "tps": result.achieved_tps,
+        "mean_ms": result.latency.mean * 1000,
+        "p95_ms": result.latency.percentile(95) * 1000,
+    }
+
+
+def run_fig2a():
+    series = {"async": [], "sync": []}
+    for i, offered in enumerate(LOADS):
+        series["async"].append(run_mode("async", offered, seed=100 + i))
+        series["sync"].append(run_mode("sync", offered, seed=200 + i))
+    return series
+
+
+def test_fig2a_async_vs_sync_persistence(benchmark):
+    series = benchmark.pedantic(run_fig2a, rounds=1, iterations=1)
+
+    rows = []
+    for a, s in zip(series["async"], series["sync"]):
+        rows.append((
+            a["offered"],
+            f"{a['tps']:.0f}", f"{a['mean_ms']:.1f}", f"{a['p95_ms']:.1f}",
+            f"{s['tps']:.0f}", f"{s['mean_ms']:.1f}", f"{s['p95_ms']:.1f}",
+        ))
+    emit("fig2a", format_table(
+        ["offered", "async tps", "async ms", "async p95",
+         "sync tps", "sync ms", "sync p95"],
+        rows,
+        title="Figure 2(a): response time vs throughput "
+              f"({N_CLIENT_THREADS} threads, 2 region servers, "
+              f"{'paper' if PAPER else 'small'} scale)",
+    ))
+
+    # Shape assertions.
+    async_peak = max(p["tps"] for p in series["async"])
+    sync_peak = max(p["tps"] for p in series["sync"])
+    assert async_peak > sync_peak * 1.1, (
+        f"async peak {async_peak:.0f} should clearly beat sync {sync_peak:.0f}"
+    )
+    # At every offered load both modes actually ran, async responds faster.
+    for a, s in zip(series["async"], series["sync"]):
+        assert a["mean_ms"] < s["mean_ms"], (
+            f"at {a['offered']} tps offered: async {a['mean_ms']:.1f} ms "
+            f"must be below sync {s['mean_ms']:.1f} ms"
+        )
+    # The sync curve saturates: it stops tracking the offered load earlier.
+    last_sync = series["sync"][-1]
+    assert last_sync["tps"] < last_sync["offered"] * 0.95

@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the simulation substrate.
+
+Not a paper figure: these measure the *simulator's* own cost (wall-clock
+per simulated event/operation), which bounds how large an experiment runs
+in reasonable time.  Useful when touching the kernel or the hot paths.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.kvstore.keys import Cell
+from repro.kvstore.memstore import MemStore
+from repro.sim import Kernel, Network, Node
+
+
+def run_timer_chain(n_events: int) -> float:
+    k = Kernel(seed=1)
+
+    def chain(k, n):
+        for _ in range(n):
+            yield k.timeout(0.001)
+
+    k.process(chain(k, n_events))
+    k.run()
+    return k.now
+
+
+def test_kernel_event_throughput(benchmark):
+    benchmark(run_timer_chain, 10_000)
+    # Sanity: the kernel must stay fast enough for figure-scale runs
+    # (fig3 is ~5M events; >100k events/s keeps it under a minute).
+    assert benchmark.stats["mean"] < 1.0  # 10k events well under a second
+
+
+def run_rpc_pingpong(n_calls: int) -> None:
+    k = Kernel(seed=2)
+    net = Network(k)
+
+    class Echo(Node):
+        def rpc_echo(self, sender, x):
+            return x
+
+    Echo(k, net, "server")
+    client = Node(k, net, "client")
+
+    def caller(k, client, n):
+        for i in range(n):
+            yield client.call("server", "echo", x=i)
+
+    k.process(caller(k, client, n_calls))
+    k.run()
+
+
+def test_rpc_roundtrip_cost(benchmark):
+    benchmark(run_rpc_pingpong, 2_000)
+    assert benchmark.stats["mean"] < 1.0
+
+
+def run_memstore_ops(n_ops: int) -> None:
+    ms = MemStore()
+    for i in range(n_ops):
+        ms.put(Cell(f"row{i % 500:04d}", "f", i, i))
+    for i in range(n_ops):
+        ms.get(f"row{i % 500:04d}", "f", n_ops)
+
+
+def test_memstore_put_get_cost(benchmark):
+    benchmark(run_memstore_ops, 5_000)
+    assert benchmark.stats["mean"] < 1.0

@@ -1,0 +1,53 @@
+"""Transactional failure recovery for a distributed key-value store.
+
+A full reproduction of Ahmad et al., Middleware 2013, on a deterministic
+discrete-event simulation: an HBase-like store over an HDFS-like
+filesystem, an independent transaction manager with a group-committed
+recovery log, and -- the paper's contribution -- the failure-recovery
+middleware that tracks flush/persist progress at clients and servers and
+replays exactly the committed write-sets a failure can lose.
+
+Typical entry point::
+
+    from repro import ClusterConfig, SimCluster
+
+    cluster = SimCluster(ClusterConfig()).start()
+    cluster.preload()
+    cluster.warm_caches()
+    client = cluster.add_client()
+    ...
+"""
+
+from repro.cluster import TABLE, ClientHandle, SimCluster
+from repro.config import (
+    ClusterConfig,
+    DfsSettings,
+    DiskSettings,
+    KvSettings,
+    NetworkSettings,
+    RecoverySettings,
+    TxnSettings,
+    WorkloadSettings,
+    ZkSettings,
+    paper_setup,
+    small_setup,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ClientHandle",
+    "ClusterConfig",
+    "DfsSettings",
+    "DiskSettings",
+    "KvSettings",
+    "NetworkSettings",
+    "RecoverySettings",
+    "SimCluster",
+    "TABLE",
+    "TxnSettings",
+    "WorkloadSettings",
+    "ZkSettings",
+    "paper_setup",
+    "small_setup",
+]

@@ -1,0 +1,417 @@
+"""One-call assembly of the full simulated system.
+
+Builds the paper's Section 4.1 deployment from a :class:`ClusterConfig`:
+
+* a coordination service and a namenode;
+* N machines, each a datanode co-located with a region server (the paper
+  co-hosts them, so :meth:`crash_server` kills both);
+* the transaction manager and the recovery manager co-hosted on one "VM"
+  (they share a CPU resource);
+* the master, wired to notify the recovery manager on server failures;
+* any number of client machines, each with a transactional client and --
+  when recovery is enabled -- a client recovery agent.
+
+Also provides dataset preload (bulk import of pre-built sstables, the
+analogue of loading YCSB's table before the run) and block-cache warming
+(the paper warms the cache before each experiment).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import ClusterConfig
+from repro.core import ClientRecoveryAgent, RecoveryManager, ServerRecoveryAgent
+from repro.dfs import DataNode, NameNode
+from repro.kvstore import KvClient, Master, RegionServer, SSTable
+from repro.kvstore.keys import Cell, row_key, split_points_for
+from repro.kvstore.regionserver import _block_to_map
+from repro.kvstore.sstable import build_blocks, estimate_block_bytes
+from repro.kvstore.wal import SYNC
+from repro.sim import Kernel, LatencyModel, Network, Node, Resource
+from repro.txn import STORE_SYNC, TM_LOG, TransactionManager, TxnClient
+from repro.zk import ZkClient, ZkService, ZkWatcherMixin
+
+TABLE = "usertable"
+
+
+class ClientNode(ZkWatcherMixin, Node):
+    """A client machine (application + embedded kv/txn clients)."""
+
+
+@dataclass
+class ClientHandle:
+    """Everything attached to one client machine."""
+
+    node: ClientNode
+    kv: KvClient
+    txn: TxnClient
+    agent: Optional[ClientRecoveryAgent] = None
+
+    @property
+    def client_id(self) -> str:
+        """The client identifier (its node address)."""
+        return self.node.addr
+
+
+class SimCluster:
+    """A fully wired simulated cluster."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+        cfg = self.config
+        self.kernel = Kernel(seed=cfg.seed)
+        self.net = Network(
+            self.kernel,
+            LatencyModel(
+                mean_latency=cfg.network.mean_latency,
+                jitter_fraction=cfg.network.jitter_fraction,
+                bandwidth_bytes_per_s=cfg.network.bandwidth_bytes_per_s,
+            ),
+        )
+        self.zk = ZkService(self.kernel, self.net, settings=cfg.zk)
+        self.namenode = NameNode(self.kernel, self.net)
+
+        cache_blocks = cfg.kv.blockcache_blocks or self._default_cache_blocks()
+        self.datanodes: List[DataNode] = []
+        self.servers: List[RegionServer] = []
+        self.server_agents: List[Optional[ServerRecoveryAgent]] = []
+        for i in range(cfg.kv.n_region_servers):
+            dn = DataNode(
+                self.kernel, self.net, f"dn{i}", disk_settings=cfg.dfs.datanode_disk
+            )
+            rs = RegionServer(
+                self.kernel,
+                self.net,
+                f"rs{i}",
+                settings=cfg.kv,
+                local_datanode=dn.addr,
+                replication=cfg.dfs.replication,
+                cache_blocks=cache_blocks,
+            )
+            agent = None
+            if cfg.recovery.enabled:
+                agent = ServerRecoveryAgent(rs, settings=cfg.recovery, rm_addr="rm")
+            self.datanodes.append(dn)
+            self.servers.append(rs)
+            self.server_agents.append(agent)
+
+        # Optional dedicated logging nodes (distributed recovery log).
+        self.logger_shards = []
+        if cfg.txn.log_shards > 0:
+            from repro.txn.loggers import LoggerShard
+
+            self.logger_shards = [
+                LoggerShard(self.kernel, self.net, f"log{i}", settings=cfg.txn)
+                for i in range(cfg.txn.log_shards)
+            ]
+
+        # TM and RM co-hosted: one 2-core VM's worth of shared CPU.
+        self.tm_rm_cpu = Resource(self.kernel, capacity=2)
+        self.tm = TransactionManager(
+            self.kernel,
+            self.net,
+            settings=cfg.txn,
+            shared_cpu=self.tm_rm_cpu,
+            logger_shards=[shard.addr for shard in self.logger_shards] or None,
+        )
+        self.rm: Optional[RecoveryManager] = None
+        if cfg.recovery.enabled:
+            self.rm = RecoveryManager(
+                self.kernel,
+                self.net,
+                settings=cfg.recovery,
+                kv_settings=cfg.kv,
+                shared_cpu=self.tm_rm_cpu,
+            )
+        self.master = Master(
+            self.kernel,
+            self.net,
+            settings=cfg.kv,
+            recovery_manager="rm" if cfg.recovery.enabled else None,
+            replication=cfg.dfs.replication,
+        )
+        self.observer = ClientNode(self.kernel, self.net, "observer")
+        self._observer_zk = ZkClient(self.observer)
+        self.clients: List[ClientHandle] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # sizing
+    # ------------------------------------------------------------------
+    def _default_cache_blocks(self) -> int:
+        """Size each server's cache so the whole dataset fits in one --
+        the paper's premise for surviving a server failure."""
+        cfg = self.config
+        per_region = [
+            len(rows)
+            for rows in self._region_row_partitions()
+        ]
+        total_blocks = sum(
+            math.ceil(n / cfg.kv.rows_per_block) for n in per_region if n
+        )
+        return max(int(total_blocks * 1.25) + 8, 16)
+
+    def _split_points(self) -> List[str]:
+        return split_points_for(self.config.workload.n_rows, self.config.kv.n_regions)
+
+    def _region_row_partitions(self) -> List[range]:
+        n_rows = self.config.workload.n_rows
+        n_regions = self.config.kv.n_regions
+        bounds = [i * n_rows // n_regions for i in range(n_regions)] + [n_rows]
+        return [range(bounds[i], bounds[i + 1]) for i in range(n_regions)]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        """Boot every component and create the benchmark table."""
+        if self._started:
+            return self
+        procs = [rs.spawn(rs.start(), name="start") for rs in self.servers]
+        procs.append(self.master.spawn(self.master.start(), name="start"))
+        if self.rm is not None:
+            procs.append(self.rm.spawn(self.rm.start(), name="start"))
+        for p in procs:
+            p.defuse()
+        self.kernel.run(until=self.kernel.now + 1.0)
+        for rs in self.servers:
+            if not rs.started:
+                raise RuntimeError(f"{rs.addr} failed to start")
+        self.run(
+            self.rpc(
+                self.master.addr,
+                "create_table",
+                table=TABLE,
+                split_points=self._split_points(),
+            )
+        )
+        self._started = True
+        return self
+
+    # ------------------------------------------------------------------
+    # helpers for driving the simulation
+    # ------------------------------------------------------------------
+    def rpc(self, dst: str, method: str, **kw):
+        """Generator: one observer-issued RPC."""
+        result = yield self.observer.call(dst, method, timeout=60.0, **kw)
+        return result
+
+    def run(self, gen):
+        """Drive a generator to completion from the observer node."""
+        return self.kernel.run_until_complete(self.kernel.process(gen))
+
+    def run_until(self, t: float) -> None:
+        """Advance simulated time to ``t``."""
+        self.kernel.run(until=t)
+
+    def after(self, delay: float, fn) -> None:
+        """Schedule a plain callback ``fn()`` after ``delay`` seconds."""
+        timer = self.kernel.timeout(delay)
+        timer.callbacks.append(lambda _ev: fn())
+
+    # ------------------------------------------------------------------
+    # clients
+    # ------------------------------------------------------------------
+    def add_client(self, name: Optional[str] = None) -> ClientHandle:
+        """Create a client machine (with recovery agent when enabled)."""
+        cfg = self.config
+        addr = name or f"client{len(self.clients)}"
+        if addr in self.net.nodes and self.net.nodes[addr].alive:
+            raise ValueError(
+                f"address {addr!r} is already taken by a live node"
+            )
+        node = ClientNode(self.kernel, self.net, addr)
+        kv = KvClient(node, settings=cfg.kv)
+        agent = None
+        if cfg.recovery.enabled:
+            zk = ZkClient(node)
+            agent = ClientRecoveryAgent(node, zk, client_id=addr, settings=cfg.recovery)
+            self.run(agent.start())
+        durability = STORE_SYNC if cfg.kv.wal_sync_mode == SYNC else TM_LOG
+        txn = TxnClient(
+            node, kv, client_id=addr, durability=durability, tracker=agent
+        )
+        handle = ClientHandle(node=node, kv=kv, txn=txn, agent=agent)
+        self.clients.append(handle)
+        return handle
+
+    def create_table(self, table: str, split_points: Optional[List[str]] = None):
+        """Create an additional (empty) table with the given split points.
+
+        The benchmark table ``usertable`` is created by :meth:`start`;
+        applications can add their own tables -- transactions may span any
+        of them, and recovery covers them all (the TM log records cells per
+        table).
+        """
+        return self.run(
+            self.rpc(
+                self.master.addr,
+                "create_table",
+                table=table,
+                split_points=split_points or [],
+            )
+        )
+
+    def add_server(self) -> RegionServer:
+        """Scale out: add one machine (datanode + region server) live.
+
+        The master notices the new liveness ephemeral; call
+        ``rpc('master', 'balance')`` to shift regions onto it.
+        """
+        cfg = self.config
+        i = len(self.servers)
+        dn = DataNode(
+            self.kernel, self.net, f"dn{i}", disk_settings=cfg.dfs.datanode_disk
+        )
+        rs = RegionServer(
+            self.kernel,
+            self.net,
+            f"rs{i}",
+            settings=cfg.kv,
+            local_datanode=dn.addr,
+            replication=cfg.dfs.replication,
+            cache_blocks=self.servers[0].cache.capacity if self.servers else 4096,
+        )
+        agent = None
+        if cfg.recovery.enabled:
+            agent = ServerRecoveryAgent(rs, settings=cfg.recovery, rm_addr="rm")
+        self.datanodes.append(dn)
+        self.servers.append(rs)
+        self.server_agents.append(agent)
+        self.run(rs.start())
+        return rs
+
+    # ------------------------------------------------------------------
+    # dataset preload and cache warming
+    # ------------------------------------------------------------------
+    def preload(self) -> int:
+        """Bulk-import the initial dataset (version 0) as sstables.
+
+        Returns the number of rows loaded.  This is the simulation analogue
+        of YCSB's load phase followed by an HBase bulk import: files appear
+        fully replicated and durable without event traffic.
+        """
+        cfg = self.config
+        partitions = self._region_row_partitions()
+        status = self.run(self.rpc(self.master.addr, "cluster_status"))
+        assignments = status["assignments"]
+        splits = [""] + self._split_points()
+        rs_by_addr = {rs.addr: rs for rs in self.servers}
+        dn_addrs = [dn.addr for dn in self.datanodes]
+        loaded = 0
+        for idx, rows in enumerate(partitions):
+            region_id = f"{TABLE},{splits[idx]}"
+            server = rs_by_addr[assignments[region_id]]
+            cells = [
+                Cell(row=row_key(i), column="f", version=0, value=f"init-{i}")
+                for i in rows
+            ]
+            index, blocks = build_blocks(cells, cfg.kv.rows_per_block)
+            path = f"/data/{TABLE}/{splits[idx] or '_first'}/sst-preload-{idx}"
+            records = [(("index", index), 16 * max(len(index), 1))]
+            for block in blocks:
+                records.append((("block", block), estimate_block_bytes(block)))
+            # Replicate on the hosting machine's datanode first, then the
+            # next one around the ring (replication factor from config).
+            local = server.local_datanode or dn_addrs[0]
+            ring = [local] + [d for d in dn_addrs if d != local]
+            replicas = ring[: cfg.dfs.replication]
+            nbytes = sum(n for _p, n in records)
+            self.namenode.bulk_register(path, replicas, len(records), nbytes)
+            for dn in self.datanodes:
+                if dn.addr in replicas:
+                    dn.bulk_store(path, records)
+            region = server.regions[region_id]
+            region.sstables.append(
+                SSTable(path=path, index=index, entries=len(cells))
+            )
+            loaded += len(cells)
+        return loaded
+
+    def warm_caches(self) -> None:
+        """Fill each server's block cache with its hosted regions' blocks,
+        as the paper does before starting measurements."""
+        dn_by_addr = {dn.addr: dn for dn in self.datanodes}
+        for rs in self.servers:
+            for region in rs.regions.values():
+                for sstable in region.sstables:
+                    replica = None
+                    meta = self.namenode._files.get(sstable.path)
+                    if meta is None:
+                        continue
+                    for addr in meta.replicas:
+                        replica = dn_by_addr[addr].replica(sstable.path)
+                        if replica is not None:
+                            break
+                    if replica is None:
+                        continue
+                    for block_idx in range(sstable.n_blocks):
+                        payload = replica.records[1 + block_idx].payload
+                        _kind, cells = payload
+                        rs.cache.put(
+                            (sstable.path, block_idx), _block_to_map(cells)
+                        )
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    def crash_server(self, index: int) -> None:
+        """Crash one machine: the region server and its datanode together."""
+        self.servers[index].crash()
+        self.datanodes[index].crash()
+
+    def crash_client(self, index: int) -> None:
+        """Crash one client machine (its flushes die mid-flight)."""
+        self.clients[index].node.crash()
+
+    def restart_server(self, index: int) -> None:
+        """Revive a crashed machine (datanode + region server).
+
+        The datanode's durable replicas survived; the region server rejoins
+        empty and picks up work via failover, splits, or ``balance``.
+        """
+        self.datanodes[index].revive()
+        rs = self.servers[index]
+        self.run(rs.restart())
+
+    def restart_recovery_manager(self) -> RecoveryManager:
+        """Kill and restart the recovery manager (Section 3.3)."""
+        if self.rm is None:
+            raise RuntimeError("recovery is disabled in this cluster")
+        self.rm.crash()
+        self.rm = RecoveryManager(
+            self.kernel,
+            self.net,
+            settings=self.config.recovery,
+            kv_settings=self.config.kv,
+            shared_cpu=self.tm_rm_cpu,
+        )
+        proc = self.rm.spawn(self.rm.start(recover=True), name="restart")
+        proc.defuse()
+        return self.rm
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+    def enable_tracing(self, capacity: int = 100_000):
+        """Attach a message tracer to the network; returns it."""
+        from repro.metrics.tracing import Tracer
+
+        tracer = Tracer(capacity=capacity)
+        self.net.tracer = tracer
+        return tracer
+
+    def cluster_status(self) -> dict:
+        """Assignment/liveness snapshot from the master."""
+        return self.run(self.rpc(self.master.addr, "cluster_status"))
+
+    def rm_status(self) -> dict:
+        """Threshold/recovery snapshot from the recovery manager."""
+        return self.run(self.rpc("rm", "rm_status"))
+
+    def tm_stats(self) -> dict:
+        """Commit/log counters from the transaction manager."""
+        return self.run(self.rpc("tm", "tm_stats"))

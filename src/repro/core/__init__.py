@@ -1,0 +1,44 @@
+"""The paper's contribution: transactional failure-recovery middleware.
+
+* :class:`FlushTracker` / :class:`PersistTracker` -- the threshold
+  bookkeeping of Algorithms 1 and 3;
+* :class:`ClientRecoveryAgent` / :class:`ServerRecoveryAgent` -- the
+  minimal client/server extensions that heartbeat those thresholds via the
+  coordination service and gate region opening on transactional recovery;
+* :class:`RecoveryManager` -- Algorithms 2 and 4: global thresholds, client
+  failure detection and replay, per-region server recovery, log truncation
+  at the global persisted threshold, and restart from coordination-service
+  state;
+* :class:`RecoveryClient` -- the replay client c_R.
+"""
+
+from repro.core.client_agent import ClientRecoveryAgent
+from repro.core.paths import (
+    CLIENTS_DIR,
+    GLOBAL_PATH,
+    PENDING_DIR,
+    SERVERS_DIR,
+    client_path,
+    pending_path,
+    server_path,
+)
+from repro.core.recovery_client import RecoveryClient
+from repro.core.recovery_manager import RecoveryManager
+from repro.core.server_agent import ServerRecoveryAgent
+from repro.core.tracking import FlushTracker, PersistTracker
+
+__all__ = [
+    "CLIENTS_DIR",
+    "ClientRecoveryAgent",
+    "FlushTracker",
+    "GLOBAL_PATH",
+    "PENDING_DIR",
+    "PersistTracker",
+    "RecoveryClient",
+    "RecoveryManager",
+    "SERVERS_DIR",
+    "ServerRecoveryAgent",
+    "client_path",
+    "pending_path",
+    "server_path",
+]

@@ -1,0 +1,26 @@
+"""ZooKeeper paths used by the recovery middleware.
+
+Heartbeats are exchanged via the coordination service (Section 3.3), and
+the recovery manager keeps its threshold state there so a restarted
+recovery manager can catch up with the system's progress.
+"""
+
+CLIENTS_DIR = "/recovery/clients"
+SERVERS_DIR = "/recovery/servers"
+GLOBAL_PATH = "/recovery/global"
+PENDING_DIR = "/recovery/pending"
+
+
+def client_path(client_id: str) -> str:
+    """Heartbeat znode of one key-value client."""
+    return f"{CLIENTS_DIR}/{client_id}"
+
+
+def server_path(server_addr: str) -> str:
+    """Heartbeat znode of one region server."""
+    return f"{SERVERS_DIR}/{server_addr}"
+
+
+def pending_path(region_id: str) -> str:
+    """Pending-recovery marker for one region (survives RM restarts)."""
+    return f"{PENDING_DIR}/{region_id.replace('/', '_')}"

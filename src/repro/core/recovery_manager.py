@@ -1,0 +1,429 @@
+"""The recovery manager (Algorithms 2 and 4).
+
+A middleware service associated with the transaction manager (the paper
+co-hosts both on one VM, which the cluster builder reproduces by sharing a
+CPU resource).  It:
+
+* tracks per-client flushed thresholds T_F(c) and per-server persisted
+  thresholds T_P(s) from heartbeats exchanged via the coordination service;
+* maintains the global thresholds T_F = min_c T_F(c) and
+  T_P = min_s T_P(s), publishes them (servers read T_F on their own
+  heartbeats; a restarted recovery manager reads everything back), and
+  truncates the TM's recovery log at T_P;
+* detects client failures by missed heartbeats and replays the dead
+  client's write-sets committed after T_F^r(c);
+* on server failures (reported by the master's hook) replays, per affected
+  region, the write-sets committed after T_P^r(s) that fall in the region,
+  piggybacking T_P^r(s) so live servers inherit responsibility -- and only
+  then lets the region go online.
+
+Transaction processing on the available servers continues throughout: the
+recovery manager never stops the world.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import KvSettings, RecoverySettings
+from repro.core.paths import (
+    CLIENTS_DIR,
+    GLOBAL_PATH,
+    PENDING_DIR,
+    SERVERS_DIR,
+    pending_path,
+)
+from repro.core.recovery_client import RecoveryClient
+from repro.kvstore.client import KvClient
+from repro.sim.events import Interrupt
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.resource import Resource
+from repro.zk.client import ZkClient, ZkWatcherMixin
+
+LIVE = "live"
+RECOVERING = "recovering"
+FAILED = "failed"
+
+
+class _Tracked:
+    """Recovery-manager-side view of one client or server."""
+
+    __slots__ = ("threshold", "heartbeat_time", "status", "pending_regions", "floors")
+
+    def __init__(self, threshold: int, heartbeat_time: float) -> None:
+        self.threshold = threshold
+        self.heartbeat_time = heartbeat_time
+        self.status = LIVE
+        self.pending_regions = 0  # failed servers: regions awaiting replay
+        #: Replay-in-flight floors (region -> failed server's T_P): while we
+        #: are replaying onto this server, its effective threshold must not
+        #: rise above the floor, or a crash mid-replay would lose the
+        #: in-flight updates.  Removed once the replay is acknowledged (the
+        #: server's own piggyback inheritance takes over from there).
+        self.floors: Dict[str, int] = {}
+
+    def effective(self) -> int:
+        """The threshold to use in global minima (floor-capped)."""
+        if self.floors:
+            return min(self.threshold, min(self.floors.values()))
+        return self.threshold
+
+
+class RecoveryManager(ZkWatcherMixin, Node):
+    """The failure-detection and recovery middleware service."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        net: Network,
+        addr: str = "rm",
+        settings: Optional[RecoverySettings] = None,
+        kv_settings: Optional[KvSettings] = None,
+        tm_addr: str = "tm",
+        master: str = "master",
+        zk_addr: str = "zk",
+        shared_cpu: Optional[Resource] = None,
+    ) -> None:
+        super().__init__(kernel, net, addr)
+        self.settings = settings or RecoverySettings()
+        self.tm_addr = tm_addr
+        self.zk = ZkClient(self, zk_addr=zk_addr)
+        self.kv = KvClient(self, master=master, settings=kv_settings)
+        self.recovery_client = RecoveryClient(self.kv)
+        self.cpu = shared_cpu or Resource(kernel, capacity=2)
+        self.clients: Dict[str, _Tracked] = {}
+        self.servers: Dict[str, _Tracked] = {}
+        #: region -> (failed server, T_P^r at failure time)
+        self.pending_regions: Dict[str, Tuple[str, int]] = {}
+        self.global_tf = 0
+        self.global_tp = 0
+        self._running = False
+        #: (table, start, end) per region id, cached from the master.
+        self._region_ranges: Dict[str, Tuple[str, str, Optional[str]]] = {}
+        self.alerts: List[dict] = []
+        self.stats = {
+            "client_recoveries": 0,
+            "server_region_recoveries": 0,
+            "replayed_write_sets": 0,
+            "replayed_fragments": 0,
+            "truncation_requests": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, recover: bool = False):
+        """Boot the service.  (Generator API; run as a process.)
+
+        With ``recover=True`` the manager first catches up from the state
+        in the coordination service (Section 3.3): the published global
+        thresholds, the registered clients/servers, and any pending region
+        recoveries interrupted by our own failure.
+        """
+        yield from self.zk.start_session()
+        if recover:
+            yield from self._recover_own_state()
+        else:
+            try:
+                yield from self.zk.create(
+                    GLOBAL_PATH, data={"tf": self.global_tf, "tp": self.global_tp}
+                )
+            except Exception:
+                pass  # already exists (e.g. a previous incarnation)
+        self._running = True
+        self.spawn(self._poll_loop(), name="rm-poll")
+        return self
+
+    def _recover_own_state(self):
+        try:
+            node = yield from self.zk.get(GLOBAL_PATH)
+            self.global_tf = node["data"].get("tf", 0)
+            self.global_tp = node["data"].get("tp", 0)
+        except Exception:
+            yield from self.zk.create(GLOBAL_PATH, data={"tf": 0, "tp": 0})
+        pending = yield from self.zk.get_children(PENDING_DIR)
+        if pending:
+            snapshots = yield from self.zk.multi_get(pending)
+            for snapshot in snapshots:
+                if snapshot is None:
+                    continue
+                data = snapshot["data"]
+                region = data["region"]
+                self.pending_regions[region] = (data["failed_server"], data["tp"])
+                entry = self.servers.setdefault(
+                    data["failed_server"], _Tracked(data["tp"], self.kernel.now)
+                )
+                entry.status = FAILED
+                entry.threshold = min(entry.threshold, data["tp"])
+                entry.pending_regions += 1
+
+    # ------------------------------------------------------------------
+    # heartbeat polling (Algorithm 2 receive_heartbeat, both kinds)
+    # ------------------------------------------------------------------
+    @property
+    def poll_interval(self) -> float:
+        """How often heartbeats are ingested (half the shortest interval)."""
+        shortest = min(
+            self.settings.client_heartbeat_interval,
+            self.settings.server_heartbeat_interval,
+        )
+        return max(0.02, min(shortest / 2.0, 0.5))
+
+    def _poll_loop(self):
+        try:
+            while self._running:
+                yield self.sleep(self.poll_interval)
+                try:
+                    yield from self._poll_once()
+                except Interrupt:
+                    raise
+                except Exception:
+                    continue  # transient zk/tm trouble; next tick retries
+        except Interrupt:
+            return
+
+    def _poll_once(self):
+        client_paths = yield from self.zk.get_children(CLIENTS_DIR)
+        server_paths = yield from self.zk.get_children(SERVERS_DIR)
+        snapshots = yield from self.zk.multi_get(client_paths + server_paths)
+
+        # Heartbeat processing cost, on the CPU shared with the TM.
+        n = len(snapshots)
+        yield from self.cpu.use(
+            self.settings.heartbeat_fixed_cost
+            + n * self.settings.heartbeat_entry_cost
+        )
+
+        self._ingest_clients(client_paths, snapshots[: len(client_paths)])
+        self._ingest_servers(server_paths, snapshots[len(client_paths) :])
+        self._detect_client_failures()
+        self._recompute_globals()
+        yield from self.zk.set_data(
+            GLOBAL_PATH, data={"tf": self.global_tf, "tp": self.global_tp}
+        )
+        if self.settings.truncate_log and self.global_tp > 0:
+            self.cast(self.tm_addr, "truncate_log", up_to_ts=self.global_tp)
+            self.stats["truncation_requests"] += 1
+
+    def _ingest_clients(self, paths: List[str], snapshots: List[Optional[dict]]) -> None:
+        seen = set()
+        for path, snapshot in zip(paths, snapshots):
+            if snapshot is None:
+                continue
+            client_id = path.rsplit("/", 1)[1]
+            seen.add(client_id)
+            data = snapshot["data"]
+            entry = self.clients.get(client_id)
+            if entry is None:
+                self.clients[client_id] = _Tracked(data["tf"], data["t"])
+            elif entry.status == LIVE:
+                entry.threshold = max(entry.threshold, data["tf"])
+                entry.heartbeat_time = max(entry.heartbeat_time, data["t"])
+            if "alert" in data:
+                self.alerts.append(
+                    {"component": client_id, "queue": data["alert"], "t": self.kernel.now}
+                )
+        # Znodes deleted -> clean unregistration (Algorithm 2 unregister).
+        for client_id in [c for c in self.clients if c not in seen]:
+            if self.clients[client_id].status == LIVE:
+                del self.clients[client_id]
+
+    def _ingest_servers(self, paths: List[str], snapshots: List[Optional[dict]]) -> None:
+        seen = set()
+        for path, snapshot in zip(paths, snapshots):
+            if snapshot is None:
+                continue
+            server = path.rsplit("/", 1)[1]
+            seen.add(server)
+            data = snapshot["data"]
+            entry = self.servers.get(server)
+            if entry is None:
+                self.servers[server] = _Tracked(data["tp"], data["t"])
+            elif entry.status == LIVE:
+                # The znode read is a latest-state snapshot, so the report
+                # is authoritative; it may be *lower* than what we hold
+                # when the server inherited responsibility via a piggyback.
+                entry.threshold = data["tp"]
+                entry.heartbeat_time = max(entry.heartbeat_time, data["t"])
+            if "alert" in data:
+                self.alerts.append(
+                    {"component": server, "queue": data["alert"], "t": self.kernel.now}
+                )
+        for server in [s for s in self.servers if s not in seen]:
+            if self.servers[server].status == LIVE:
+                del self.servers[server]
+
+    def _detect_client_failures(self) -> None:
+        deadline = self.kernel.now - (
+            self.settings.client_heartbeat_interval
+            * self.settings.missed_heartbeat_limit
+        )
+        for client_id, entry in self.clients.items():
+            if entry.status == LIVE and entry.heartbeat_time < deadline:
+                entry.status = RECOVERING
+                self.spawn(
+                    self._recover_client(client_id), name=f"recover-client:{client_id}"
+                )
+
+    def _recompute_globals(self) -> None:
+        if self.clients:
+            tf = min(entry.threshold for entry in self.clients.values())
+            self.global_tf = max(self.global_tf, tf)
+        if self.servers:
+            tp = min(entry.effective() for entry in self.servers.values())
+            self.global_tp = max(self.global_tp, tp)
+
+    # ------------------------------------------------------------------
+    # client failure recovery (Algorithm 2 "On failure(c)")
+    # ------------------------------------------------------------------
+    def _recover_client(self, client_id: str):
+        entry = self.clients[client_id]
+        records = yield self.call(
+            self.tm_addr,
+            "fetch_logs",
+            timeout=30.0,
+            after_ts=entry.threshold,
+            client_id=client_id,
+        )
+        for record in records:  # ascending commit-timestamp order
+            for table, cells in sorted(record["cells_by_table"].items()):
+                yield from self.recovery_client.replay_write_set(
+                    table, record["commit_ts"], cells
+                )
+            self.stats["replayed_write_sets"] += 1
+        # Replay complete: the dead client no longer constrains T_F.
+        self.clients.pop(client_id, None)
+        try:
+            yield from self.zk.delete(f"{CLIENTS_DIR}/{client_id}")
+        except Exception:
+            pass
+        self.stats["client_recoveries"] += 1
+
+    # ------------------------------------------------------------------
+    # server failure recovery (Algorithm 4)
+    # ------------------------------------------------------------------
+    def rpc_server_failed(self, sender: str, server: str, regions: List[str]):
+        """Master hook: a region server died; pin its T_P and queue its
+        regions for transactional recovery."""
+        entry = self.servers.get(server)
+        if entry is None:
+            # Never heard a heartbeat from it: Algorithm 4's register rule
+            # T_P(s) <- T_P makes the global threshold the right floor.
+            entry = _Tracked(self.global_tp, self.kernel.now)
+            self.servers[server] = entry
+        entry.status = FAILED
+        tp_failed = entry.threshold
+        entry.pending_regions += len(regions)
+        for region in regions:
+            self.pending_regions[region] = (server, tp_failed)
+        self.spawn(
+            self._persist_pending_markers(server, regions, tp_failed),
+            name=f"pending-markers:{server}",
+        )
+        return {"tp": tp_failed, "regions": len(regions)}
+
+    def _persist_pending_markers(self, server: str, regions: List[str], tp: int):
+        for region in regions:
+            try:
+                yield from self.zk.create(
+                    pending_path(region),
+                    data={"region": region, "failed_server": server, "tp": tp},
+                )
+            except Exception:
+                pass  # marker already there from a previous attempt
+
+    def rpc_recover_region(
+        self, sender: str, region: str, failed_server: str, hosting_server: str
+    ):
+        """Region-opening hook: replay this region's lost write-sets.
+
+        Called by the server that is opening the region, *after* the
+        store's internal recovery and *before* the region goes online; the
+        reply releases the gate.
+        """
+        info = self.pending_regions.get(region)
+        if info is None:
+            return {"replayed": 0}  # nothing pending (e.g. duplicate open)
+        pinned_server, tp_failed = info
+
+        table, start, end = yield from self._region_range(region)
+
+        # Soundness tightening beyond the paper's piggyback: floor our own
+        # view of the hosting server's T_P for the duration of the replay,
+        # so a crash of that server mid-replay still re-covers the
+        # in-flight write-sets.  (After the replay is acknowledged, the
+        # hosting server's own inheritance keeps its reports low until it
+        # has persisted them.)
+        host_entry = self.servers.get(hosting_server)
+        if host_entry is not None:
+            host_entry.floors[region] = tp_failed
+
+        try:
+            records = yield self.call(
+                self.tm_addr, "fetch_logs", timeout=30.0, after_ts=tp_failed
+            )
+            replayed = 0
+            for record in records:  # ascending commit-timestamp order
+                cells = record["cells_by_table"].get(table, [])
+                in_region = [
+                    c for c in cells if c[0] >= start and (end is None or c[0] < end)
+                ]
+                if not in_region:
+                    continue
+                yield from self.recovery_client.replay_fragment(
+                    table, region, record["commit_ts"], in_region,
+                    piggyback_tp=tp_failed,
+                )
+                replayed += 1
+                self.stats["replayed_fragments"] += 1
+        finally:
+            if host_entry is not None:
+                host_entry.floors.pop(region, None)
+
+        self.pending_regions.pop(region, None)
+        try:
+            yield from self.zk.delete(pending_path(region))
+        except Exception:
+            pass
+        pinned = self.servers.get(pinned_server)
+        if pinned is not None:
+            pinned.pending_regions -= 1
+            if pinned.pending_regions <= 0 and pinned.status == FAILED:
+                # All of the dead server's regions are recovered: it no
+                # longer constrains the global T_P.
+                self.servers.pop(pinned_server, None)
+                try:
+                    yield from self.zk.delete(f"{SERVERS_DIR}/{pinned_server}")
+                except Exception:
+                    pass
+        self.stats["server_region_recoveries"] += 1
+        return {"replayed": replayed}
+
+    def _region_range(self, region: str):
+        # Always refetch: region boundaries change under splits, and a
+        # stale (wider) range would replay rows the hosting server must
+        # reject, wedging the recovery.
+        table = region.split(",", 1)[0]
+        entries = yield self.call(
+            self.kv.master, "locate_table", timeout=10.0, table=table
+        )
+        for e in entries:
+            self._region_ranges[e["region"]] = (table, e["start"], e["end"])
+        return self._region_ranges[region]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def rpc_rm_status(self, sender: str) -> dict:
+        """Threshold and recovery snapshot for tests and tooling."""
+        return {
+            "global_tf": self.global_tf,
+            "global_tp": self.global_tp,
+            "clients": {c: e.threshold for c, e in self.clients.items()},
+            "servers": {s: e.threshold for s, e in self.servers.items()},
+            "pending_regions": dict(self.pending_regions),
+            "alerts": len(self.alerts),
+            **self.stats,
+        }

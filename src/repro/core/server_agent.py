@@ -1,0 +1,189 @@
+"""Server-side recovery agent (Algorithm 3).
+
+Attaches to a :class:`~repro.kvstore.regionserver.RegionServer` through its
+minimal extension surface and implements:
+
+* heartbeat: read the latest global T_F from the published state, persist
+  everything received (WAL sync to the DFS), advance T_P(s) to that T_F,
+  publish it;
+* fragment tracking: count received write-set fragments (the PQ) and, on
+  replayed updates, inherit the failed server's piggybacked T_P with an
+  immediate heartbeat (Algorithm 3's receive-with-T_P path);
+* the region-opening gate: between the store's internal region recovery
+  and the region going online, call the recovery manager and wait for the
+  transactional replay to finish.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import RecoverySettings
+from repro.core.paths import GLOBAL_PATH, server_path
+from repro.core.tracking import PersistTracker
+from repro.errors import RpcError
+from repro.kvstore.regionserver import RegionServer
+from repro.sim.events import Interrupt
+from repro.sim.resource import Resource
+
+
+class ServerRecoveryAgent:
+    """Recovery bookkeeping for one region server."""
+
+    def __init__(
+        self,
+        server: RegionServer,
+        settings: Optional[RecoverySettings] = None,
+        rm_addr: str = "rm",
+    ) -> None:
+        self.server = server
+        self.settings = settings or RecoverySettings()
+        self.rm_addr = rm_addr
+        self.tracker = PersistTracker(server.kernel)
+        self._hb_lock = Resource(server.kernel, capacity=1)
+        self._running = False
+        self.heartbeats_sent = 0
+        self.alerts_raised = 0
+        server.extension = self
+
+    # ------------------------------------------------------------------
+    # RegionServer extension surface
+    # ------------------------------------------------------------------
+    def on_server_started(self) -> None:
+        """Register and start heartbeating (spawned on the server node)."""
+        self.server.spawn(self._start(), name="recovery-agent-start")
+
+    def on_fragment_applied(
+        self,
+        region_id: str,
+        txn_ts: int,
+        n_cells: int,
+        wal_seq: int,
+        piggyback_tp: Optional[int],
+    ) -> None:
+        """Track one received fragment; handle recovery piggybacks."""
+        self.tracker.note_fragment()
+        if piggyback_tp is not None:
+            # Responsibility inheritance -- and, per Algorithm 3 line 26, an
+            # immediate heartbeat so the lowered T_P(s) reaches the recovery
+            # manager (after persisting) without waiting a full interval.
+            self.tracker.note_piggyback(piggyback_tp)
+            self.server.spawn(self._safe_heartbeat(), name="inherit-heartbeat")
+
+    def region_gate(self, region_id: str, failed_server: str):
+        """Block the opening region until transactional recovery completes.
+
+        Retries indefinitely: the recovery manager may itself be down and
+        restarting, and the region must not come online without it.
+        """
+        while True:
+            try:
+                result = yield self.server.call(
+                    self.rm_addr,
+                    "recover_region",
+                    timeout=60.0,
+                    region=region_id,
+                    failed_server=failed_server,
+                    hosting_server=self.server.addr,
+                )
+                return result
+            except RpcError:
+                yield self.server.sleep(0.5)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _start(self):
+        initial_tp = 0
+        try:
+            node = yield from self.server.zk.get(GLOBAL_PATH)
+            initial_tp = node["data"].get("tp", 0)
+        except Exception:
+            pass  # no global state yet
+        self.tracker.tp = initial_tp
+        self.tracker.pending = 0
+        try:
+            yield from self.server.zk.create(
+                server_path(self.server.addr), data=self._payload()
+            )
+        except Exception:
+            # Already registered (a restart before the recovery manager
+            # cleaned up the previous incarnation): refresh the data.
+            yield from self.server.zk.set_data(
+                server_path(self.server.addr), self._payload()
+            )
+        self._running = True
+        self.server.spawn(self._heartbeat_loop(), name="server-heartbeat")
+
+    def shutdown(self):
+        """Clean shutdown: final heartbeat, then unregister."""
+        self._running = False
+        yield from self.heartbeat_once()
+        yield from self.server.zk.delete(server_path(self.server.addr))
+
+    # ------------------------------------------------------------------
+    # heartbeats
+    # ------------------------------------------------------------------
+    def heartbeat_once(self):
+        """Algorithm 3's heartbeat: read T_F, persist PQ, advance T_P."""
+        grant = self._hb_lock.request()
+        try:
+            yield grant
+        except BaseException:
+            self._hb_lock.cancel(grant)
+            raise
+        try:
+            tf_global = None
+            try:
+                node = yield from self.server.zk.get(GLOBAL_PATH)
+                tf_global = node["data"].get("tf", 0)
+            except Exception:
+                tf_global = None  # recovery manager state not published yet
+
+            # Drain cost: the synchronized PQ processing happens on the
+            # server's request-handling CPU.
+            cost = (
+                self.settings.heartbeat_fixed_cost
+                + self.tracker.pending * self.settings.heartbeat_entry_cost
+            )
+            if self.settings.tracking_lock:
+                yield from self.server.cpu.use(cost)
+            elif cost > 0:
+                yield self.server.sleep(cost)
+
+            self.tracker.begin_sync()
+            yield from self.server.wal.sync_through(self.server.wal.appended_seq)
+            if tf_global is not None:
+                self.tracker.complete_sync(tf_global)
+            else:
+                self.tracker.pending = 0
+
+            payload = self._payload()
+            if self.tracker.pending > self.settings.queue_alert_threshold:
+                payload["alert"] = self.tracker.pending
+                self.alerts_raised += 1
+            yield from self.server.zk.set_data(server_path(self.server.addr), payload)
+            self.heartbeats_sent += 1
+        finally:
+            self._hb_lock.release()
+
+    def _safe_heartbeat(self):
+        try:
+            yield from self.heartbeat_once()
+        except Interrupt:
+            raise
+        except Exception:
+            pass  # transient zk trouble; the loop retries
+
+    def _heartbeat_loop(self):
+        try:
+            while self._running:
+                yield self.server.sleep(self.settings.server_heartbeat_interval)
+                if not self._running:
+                    return
+                yield from self._safe_heartbeat()
+        except Interrupt:
+            return
+
+    def _payload(self) -> dict:
+        return {"tp": self.tracker.report_value(), "t": self.server.kernel.now}

@@ -1,0 +1,125 @@
+"""Flush/persist progress tracking (the heart of Algorithms 1 and 3).
+
+Client side -- :class:`FlushTracker` maintains the threshold timestamp
+T_F(c) with two priority queues: ``FQ`` receives every commit timestamp in
+commit order, ``FQ'`` receives timestamps whose write-sets have been fully
+flushed.  T_F(c) advances only while the heads of both queues agree, which
+is exactly what makes it respect the *local commit order* even when flushes
+complete out of order (the paper's T_i < T_j example).
+
+Server side -- :class:`PersistTracker` maintains T_P(s).  A server cannot
+deduce persistence gaps on its own (the "received 20, 22, 23 but not 21"
+problem), so T_P(s) only ever advances to the global flushed threshold T_F
+read from the recovery manager, and only after everything received has been
+synced.  Replayed updates from a failed server's recovery carry that
+server's T_P as a piggyback, which lowers the local report -- the
+responsibility-inheritance rule.
+
+Both trackers expose a capacity-1 lock modelling the synchronized data
+structures whose contention Figure 2(b) measures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from repro.sim.kernel import Kernel
+from repro.sim.resource import Resource
+
+
+class FlushTracker:
+    """Client-side T_F(c) bookkeeping (Algorithm 1)."""
+
+    def __init__(self, kernel: Kernel, initial_tf: int = 0) -> None:
+        self.tf = initial_tf
+        self._fq: List[int] = []  # committed txns, commit order
+        self._fq_flushed: List[int] = []  # flushed txns
+        self.lock = Resource(kernel, capacity=1)
+        self.commits_tracked = 0
+        self.flushes_tracked = 0
+
+    def note_commit(self, commit_ts: int):
+        """Algorithm 1, "On receiving commit timestamp T".  (Generator API:
+        touches the synchronized queue under the tracker lock.)"""
+        yield from self.lock.use(0.0)
+        heapq.heappush(self._fq, commit_ts)
+        self.commits_tracked += 1
+
+    def note_flushed(self, commit_ts: int):
+        """Algorithm 1, "On post-flush of transaction T"."""
+        yield from self.lock.use(0.0)
+        heapq.heappush(self._fq_flushed, commit_ts)
+        self.flushes_tracked += 1
+
+    def advance(self) -> int:
+        """Algorithm 1's heartbeat drain: pop matched heads, advance T_F.
+
+        Returns how many transactions were retired.  Must be called while
+        holding (or logically owning) the tracker lock.
+        """
+        advanced = 0
+        while self._fq and self._fq_flushed and self._fq[0] == self._fq_flushed[0]:
+            self.tf = heapq.heappop(self._fq)
+            heapq.heappop(self._fq_flushed)
+            advanced += 1
+        return advanced
+
+    @property
+    def in_flight(self) -> int:
+        """Committed transactions whose flush has not been retired yet.
+
+        This is the queue whose size triggers the stuck-region alert.
+        """
+        return len(self._fq)
+
+    @property
+    def drainable(self) -> int:
+        """Entries the next heartbeat will have to process."""
+        return len(self._fq) + len(self._fq_flushed)
+
+
+class PersistTracker:
+    """Server-side T_P(s) bookkeeping (Algorithm 3)."""
+
+    def __init__(self, kernel: Kernel, initial_tp: int = 0) -> None:
+        self.tp = initial_tp
+        #: Lowest piggybacked T_P(failed) received since the last completed
+        #: sync (responsibility inheritance); cleared once everything
+        #: received is durable again.
+        self._inherited: Optional[int] = None
+        #: Fragments received since the last heartbeat drain (the PQ size).
+        self.pending = 0
+        self.lock = Resource(kernel, capacity=1)
+        self.fragments_tracked = 0
+
+    def note_fragment(self) -> None:
+        """A write-set fragment was applied (queued for persistence)."""
+        self.pending += 1
+        self.fragments_tracked += 1
+
+    def note_piggyback(self, tp_failed: int) -> None:
+        """Algorithm 3's inheritance: a replayed update carried T_P(s')."""
+        if self._inherited is None or tp_failed < self._inherited:
+            self._inherited = tp_failed
+
+    def begin_sync(self) -> Optional[int]:
+        """Capture and clear the inherited floor before syncing.
+
+        Piggybacks noted *during* the sync are not covered by it and stay
+        pending for the next round.
+        """
+        inherited, self._inherited = self._inherited, None
+        return inherited
+
+    def complete_sync(self, tf_global: int) -> None:
+        """Everything received is durable: advance T_P to the global T_F."""
+        self.pending = 0
+        if tf_global > self.tp:
+            self.tp = tf_global
+
+    def report_value(self) -> int:
+        """The T_P(s) to put on the next heartbeat (inheritance-capped)."""
+        if self._inherited is not None:
+            return min(self.tp, self._inherited)
+        return self.tp

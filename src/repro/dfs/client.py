@@ -1,0 +1,173 @@
+"""Filesystem client embedded in a host node (region server, master, ...).
+
+The client resolves replica sets through the namenode (with caching),
+drives the append pipeline starting at the first replica, and falls over to
+surviving replicas on reads.  It is a plain component, not a node: its RPCs
+are issued by -- and die with -- the host.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import DfsError, FileNotFound, RpcError
+from repro.sim.node import Node
+
+WireRecord = Tuple[Any, int]
+
+
+class DfsClient:
+    """Access to the simulated DFS from a host node."""
+
+    def __init__(self, host: Node, namenode: str = "namenode", replication: int = 2) -> None:
+        self.host = host
+        self.namenode = namenode
+        self.replication = replication
+        self._replica_cache: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # namespace
+    # ------------------------------------------------------------------
+    def create(self, path: str, preferred: Optional[str] = None):
+        """Create ``path``; returns its replica list.  (Generator API.)"""
+        meta = yield self.host.call(
+            self.namenode,
+            "create",
+            path=path,
+            replication=self.replication,
+            preferred=preferred,
+        )
+        self._replica_cache[path] = meta["replicas"]
+        return meta["replicas"]
+
+    def exists(self, path: str):
+        """Whether ``path`` exists."""
+        result = yield self.host.call(self.namenode, "exists", path=path)
+        return result
+
+    def stat(self, path: str):
+        """Namenode metadata for ``path``."""
+        meta = yield self.host.call(self.namenode, "stat", path=path)
+        self._replica_cache[path] = meta["replicas"]
+        return meta
+
+    def close(self, path: str):
+        """Mark ``path`` immutable."""
+        result = yield self.host.call(self.namenode, "close", path=path)
+        return result
+
+    def delete(self, path: str):
+        """Delete ``path`` everywhere."""
+        self._replica_cache.pop(path, None)
+        result = yield self.host.call(self.namenode, "delete", path=path)
+        return result
+
+    def list_dir(self, prefix: str):
+        """All paths under ``prefix``."""
+        result = yield self.host.call(self.namenode, "list_dir", prefix=prefix)
+        return result
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def _replicas(self, path: str):
+        replicas = self._replica_cache.get(path)
+        if replicas is None:
+            meta = yield self.host.call(self.namenode, "stat", path=path)
+            replicas = meta["replicas"]
+            self._replica_cache[path] = replicas
+        return replicas
+
+    def _live_pipeline(self, path: str, refresh: bool = False):
+        """The reachable replicas of ``path``, head first.
+
+        HDFS clients exclude failed datanodes from the write pipeline and
+        continue on the survivors; the namenode's monitor prunes and
+        re-replicates in the background.
+        """
+        if refresh:
+            self._replica_cache.pop(path, None)
+        replicas = yield from self._replicas(path)
+        return [dn for dn in replicas if self.host.net.reachable(self.host.addr, dn)]
+
+    def append(
+        self, path: str, records: List[WireRecord], durable: bool = True,
+        max_attempts: int = 10,
+    ):
+        """Append records through the replica pipeline.
+
+        Returns the new replica length.  When ``durable`` is set, success
+        means every *reachable* replica has the records on stable storage
+        (a degraded pipeline, exactly as in HDFS; the namenode restores
+        full replication in the background for closed files).
+        """
+        nbytes = sum(n for _p, n in records)
+        last_error: Optional[Exception] = None
+        for attempt in range(max_attempts):
+            pipeline = yield from self._live_pipeline(path, refresh=attempt > 0)
+            if not pipeline:
+                last_error = DfsError(f"{path} has no reachable replicas")
+                yield self.host.sleep(0.2)
+                continue
+            try:
+                length = yield self.host.call(
+                    pipeline[0],
+                    "append",
+                    timeout=10.0,
+                    path=path,
+                    records=records,
+                    pipeline=pipeline[1:],
+                    durable=durable,
+                    size=max(nbytes, 64),
+                )
+            except RpcError as exc:
+                last_error = exc
+                yield self.host.sleep(0.1)
+                continue
+            self.host.cast(
+                self.namenode, "report_length", path=path, length=length,
+                nbytes=nbytes,
+            )
+            return length
+        raise DfsError(f"append to {path!r} failed: {last_error!r}")
+
+    def sync(self, path: str, max_attempts: int = 10):
+        """Durably persist any buffered records on every reachable replica."""
+        last_error: Optional[Exception] = None
+        for attempt in range(max_attempts):
+            pipeline = yield from self._live_pipeline(path, refresh=attempt > 0)
+            if not pipeline:
+                last_error = DfsError(f"{path} has no reachable replicas")
+                yield self.host.sleep(0.2)
+                continue
+            try:
+                result = yield self.host.call(
+                    pipeline[0], "sync", timeout=10.0, path=path,
+                    pipeline=pipeline[1:],
+                )
+                return result
+            except RpcError as exc:
+                last_error = exc
+                yield self.host.sleep(0.1)
+        raise DfsError(f"sync of {path!r} failed: {last_error!r}")
+
+    def read(self, path: str, start: int = 0, count: Optional[int] = None):
+        """Read records, trying each replica in turn until one answers."""
+        replicas = yield from self._replicas(path)
+        last_error: Optional[Exception] = None
+        for dn in replicas:
+            if not self.host.net.reachable(self.host.addr, dn):
+                continue
+            try:
+                result = yield self.host.call(
+                    dn, "read", timeout=5.0, path=path, start=start, count=count
+                )
+                return result
+            except (RpcError, FileNotFound) as exc:
+                last_error = exc
+        raise DfsError(f"no live replica could serve {path!r}: {last_error!r}")
+
+    def read_all(self, path: str):
+        """Read the entire record stream of ``path``."""
+        result = yield from self.read(path, 0, None)
+        return result

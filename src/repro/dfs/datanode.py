@@ -1,0 +1,198 @@
+"""Datanode: stores file replicas and runs the append pipeline.
+
+Appends are chained through the replica list (client -> DN1 -> DN2 -> ...),
+with each hop durably writing before acknowledging when ``durable`` is set.
+That pipeline cost is the whole reason synchronous WAL persistence is slow
+in fig2a, so it is modelled faithfully; block layout below the record level
+is not.
+
+Crash semantics: records a replica has not yet synced to its disk are lost
+when the datanode crashes (``StoredFile.synced`` tracks the durable prefix).
+A crashed datanode stays down; with the paper's replication factor of 2 the
+surviving replica keeps every durably-written file readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import DiskSettings
+from repro.errors import FileNotFound
+from repro.dfs.files import Record, StoredFile
+from repro.sim.disk import Disk
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+
+class DataNode(Node):
+    """One storage server of the simulated DFS."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        net: Network,
+        addr: str,
+        namenode: str = "namenode",
+        disk_settings: Optional[DiskSettings] = None,
+    ) -> None:
+        super().__init__(kernel, net, addr)
+        self.namenode = namenode
+        settings = disk_settings or DiskSettings()
+        self.disk = Disk(
+            kernel,
+            name=addr,
+            sync_latency=settings.sync_latency,
+            bytes_per_second=settings.bytes_per_second,
+        )
+        self._read_latency = settings.read_latency
+        self._replicas: Dict[str, StoredFile] = {}
+        self.cast(namenode, "register_datanode", addr=addr)
+
+    # ------------------------------------------------------------------
+    # pipeline writes
+    # ------------------------------------------------------------------
+    def rpc_append(
+        self,
+        sender: str,
+        path: str,
+        records: List[Tuple[object, int]],
+        pipeline: List[str],
+        durable: bool,
+    ):
+        """Append records, durably if requested, then forward down the chain.
+
+        Returns the replica length after the append.  The reply is sent only
+        after every downstream replica has acknowledged, so a successful
+        append means all replicas have the data (and their disks too, when
+        ``durable``).
+        """
+        replica = self._replicas.setdefault(path, StoredFile(path=path))
+        recs = [Record(payload=p, nbytes=n) for p, n in records]
+        replica.records.extend(recs)
+        nbytes = sum(r.nbytes for r in recs)
+        if durable:
+            yield from self.disk.sync_write(nbytes)
+            replica.synced = len(replica.records)
+        if pipeline:
+            nxt, rest = pipeline[0], pipeline[1:]
+            # Bounded forward: a dead downstream replica must fail the
+            # pipeline (the client rebuilds it), never hang it.
+            yield self.call(
+                nxt,
+                "append",
+                timeout=5.0,
+                path=path,
+                records=records,
+                pipeline=rest,
+                durable=durable,
+                size=max(nbytes, 64),
+            )
+        return replica.length
+
+    def rpc_sync(self, sender: str, path: str, pipeline: List[str]):
+        """Durably persist any not-yet-synced records of ``path``."""
+        replica = self._replicas.get(path)
+        if replica is not None and replica.synced < len(replica.records):
+            pending = replica.records[replica.synced :]
+            yield from self.disk.sync_write(sum(r.nbytes for r in pending))
+            replica.synced = len(replica.records)
+        if pipeline:
+            yield self.call(
+                pipeline[0], "sync", timeout=5.0, path=path, pipeline=pipeline[1:]
+            )
+        return True
+
+    # ------------------------------------------------------------------
+    # re-replication
+    # ------------------------------------------------------------------
+    def rpc_clone_to(self, sender: str, path: str, target: str):
+        """Copy the durable part of a local replica to another datanode."""
+        replica = self._replicas.get(path)
+        if replica is None:
+            raise FileNotFound(f"{path} not on {self.addr}")
+        records = [(r.payload, r.nbytes) for r in replica.durable_records()]
+        nbytes = sum(n for _p, n in records)
+        duration = self._read_latency + (
+            nbytes / self.disk.bytes_per_second if self.disk.bytes_per_second else 0.0
+        )
+        yield self.kernel.timeout(duration)  # read the source from disk
+        yield self.call(
+            target,
+            "receive_replica",
+            timeout=30.0,
+            path=path,
+            records=records,
+            size=max(nbytes, 64),
+        )
+        return True
+
+    def rpc_receive_replica(self, sender: str, path: str, records):
+        """Install a cloned replica (durably)."""
+        stored = StoredFile(
+            path=path, records=[Record(payload=p, nbytes=n) for p, n in records]
+        )
+        nbytes = sum(r.nbytes for r in stored.records)
+        yield from self.disk.sync_write(nbytes)
+        stored.synced = len(stored.records)
+        existing = self._replicas.get(path)
+        if existing is not None and existing.length > stored.length:
+            return False  # raced with concurrent appends; keep the longer one
+        self._replicas[path] = stored
+        return True
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def rpc_read(self, sender: str, path: str, start: int = 0, count: Optional[int] = None):
+        """Read records [start, start+count) with a disk-read charge.
+
+        A datanode materialises a replica on first append, so a path it has
+        never seen reads as empty -- the namenode is the authority on
+        whether the file exists at all.
+        """
+        replica = self._replicas.get(path)
+        if replica is None:
+            replica = StoredFile(path=path)
+        if count is None:
+            chunk = replica.records[start:]
+        else:
+            chunk = replica.records[start : start + count]
+        nbytes = sum(r.nbytes for r in chunk)
+        duration = self._read_latency + (
+            nbytes / self.disk.bytes_per_second if self.disk.bytes_per_second else 0.0
+        )
+        yield self.kernel.timeout(duration)
+        return [(r.payload, r.nbytes) for r in chunk]
+
+    def rpc_replica_length(self, sender: str, path: str) -> int:
+        """Current record count of the local replica (0 if absent)."""
+        replica = self._replicas.get(path)
+        return replica.length if replica is not None else 0
+
+    def rpc_drop_replica(self, sender: str, path: str) -> bool:
+        """Discard the local replica (file deleted)."""
+        self._replicas.pop(path, None)
+        return True
+
+    # ------------------------------------------------------------------
+    # failure model
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Lose every record that was not yet synced to disk."""
+        for replica in self._replicas.values():
+            del replica.records[replica.synced :]
+
+    # test/introspection helpers -- not part of the RPC surface
+    def replica(self, path: str) -> Optional[StoredFile]:
+        """Direct access to a stored replica (for tests and recovery checks)."""
+        return self._replicas.get(path)
+
+    def bulk_store(self, path: str, records: List[Tuple[object, int]]) -> None:
+        """Install a pre-built, already-durable replica (dataset preload)."""
+        stored = StoredFile(
+            path=path,
+            records=[Record(payload=p, nbytes=n) for p, n in records],
+        )
+        stored.synced = len(stored.records)
+        self._replicas[path] = stored

@@ -1,0 +1,66 @@
+"""File and record abstractions for the simulated distributed filesystem.
+
+The filesystem stores *record streams*: an append-only sequence of opaque
+records, each with an explicit byte-size estimate used for bandwidth and
+disk-latency accounting.  This matches how the two consumers use HDFS --
+the HBase-like WAL appends log records, and memstore flushes write batches
+of cells -- without modelling byte-level block layout, which none of the
+paper's experiments depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List
+
+
+@dataclass
+class Record:
+    """One opaque record in a DFS file."""
+
+    payload: Any
+    nbytes: int = 128
+
+
+@dataclass
+class FileMeta:
+    """Namenode-side metadata for one file."""
+
+    path: str
+    replicas: List[str] = field(default_factory=list)  # datanode addresses
+    length: int = 0  # records acknowledged by the full pipeline
+    nbytes: int = 0
+    closed: bool = False
+    #: Desired replica count; the namenode's replication monitor restores
+    #: this after datanode failures.
+    replication: int = 2
+
+    def to_wire(self) -> dict:
+        """Serialisable snapshot for RPC replies."""
+        return {
+            "path": self.path,
+            "replicas": list(self.replicas),
+            "length": self.length,
+            "nbytes": self.nbytes,
+            "closed": self.closed,
+        }
+
+
+@dataclass
+class StoredFile:
+    """Datanode-side replica of one file."""
+
+    path: str
+    records: List[Record] = field(default_factory=list)
+    #: Records [0, synced) are on this replica's disk; the rest are only in
+    #: the datanode's memory and are lost if the datanode crashes.
+    synced: int = 0
+
+    @property
+    def length(self) -> int:
+        """Records currently held by this replica."""
+        return len(self.records)
+
+    def durable_records(self) -> List[Record]:
+        """The prefix of records that survives a datanode crash."""
+        return self.records[: self.synced]

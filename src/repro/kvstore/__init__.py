@@ -1,0 +1,49 @@
+"""HBase-like distributed key-value store substrate.
+
+Region servers with per-region MVCC memstores, a shared per-server WAL with
+sync/async persistence to the DFS, an LRU block cache over immutable
+sstables, and a master that reassigns and recovers regions after server
+failures.  The transactional recovery middleware (:mod:`repro.core`)
+attaches through the small hook surface on :class:`RegionServer` and
+:class:`Master`.
+"""
+
+from repro.kvstore.blockcache import BlockCache
+from repro.kvstore.client import KvClient
+from repro.kvstore.keys import Cell, KeyRange, WireCell, region_id, row_key, split_points_for
+from repro.kvstore.master import Master
+from repro.kvstore.memstore import MemStore
+from repro.kvstore.region import (
+    ONLINE,
+    OPENING,
+    RECOVERING,
+    Region,
+    RegionDescriptor,
+)
+from repro.kvstore.regionserver import RS_ZNODE_DIR, RegionServer
+from repro.kvstore.sstable import SSTable
+from repro.kvstore.wal import ASYNC, SYNC, WriteAheadLog
+
+__all__ = [
+    "ASYNC",
+    "BlockCache",
+    "Cell",
+    "KeyRange",
+    "KvClient",
+    "Master",
+    "MemStore",
+    "ONLINE",
+    "OPENING",
+    "RECOVERING",
+    "RS_ZNODE_DIR",
+    "Region",
+    "RegionDescriptor",
+    "RegionServer",
+    "SSTable",
+    "SYNC",
+    "WireCell",
+    "WriteAheadLog",
+    "region_id",
+    "row_key",
+    "split_points_for",
+]

@@ -1,0 +1,72 @@
+"""Server-wide LRU block cache.
+
+The paper sizes the dataset to fit in one region server's block cache so a
+surviving server can absorb a failed one's regions -- after a pause while
+the cache warms up, which is the ~30-second tail in Figure 3.  The cache
+here is a plain LRU over (sstable path, block index); the warmup effect
+falls out of miss accounting, nothing is hard-coded.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Sequence, Tuple
+
+BlockKey = Tuple[str, int]  # (sstable path, block index)
+
+
+class BlockCache:
+    """LRU cache of sstable blocks, capacity measured in blocks."""
+
+    def __init__(self, capacity_blocks: int) -> None:
+        if capacity_blocks < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity_blocks}")
+        self.capacity = capacity_blocks
+        self._blocks: "OrderedDict[BlockKey, Sequence]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, key: BlockKey) -> Optional[Sequence]:
+        """The cached block, or None on miss.  Updates recency and stats."""
+        block = self._blocks.get(key)
+        if block is None:
+            self.misses += 1
+            return None
+        self._blocks.move_to_end(key)
+        self.hits += 1
+        return block
+
+    def put(self, key: BlockKey, block: Sequence) -> None:
+        """Insert a block, evicting the least recently used beyond capacity."""
+        if key in self._blocks:
+            self._blocks.move_to_end(key)
+            self._blocks[key] = block
+            return
+        self._blocks[key] = block
+        while len(self._blocks) > self.capacity:
+            self._blocks.popitem(last=False)
+            self.evictions += 1
+
+    def contains(self, key: BlockKey) -> bool:
+        """Presence check without touching recency or stats."""
+        return key in self._blocks
+
+    def invalidate_file(self, path: str) -> None:
+        """Drop every block of one sstable (after compaction/deletion)."""
+        stale = [key for key in self._blocks if key[0] == path]
+        for key in stale:
+            del self._blocks[key]
+
+    def clear(self) -> None:
+        """Drop everything (server restart)."""
+        self._blocks.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,79 @@
+"""Rows, cells, versions, and key ranges for the key-value store.
+
+The store is multi-versioned: every value carries the commit timestamp of
+the transaction that wrote it.  That is the property the paper leans on for
+idempotent replay -- "we stamp each transaction's write-set with a unique
+version number, i.e., the commit timestamp of that transaction" -- so a
+write-set applied twice leaves the store unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+#: Wire format of one cell: (row, column, version_ts, value).
+WireCell = Tuple[str, str, int, Any]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One versioned value."""
+
+    row: str
+    column: str
+    version: int  # commit timestamp of the writing transaction
+    value: Any
+    tombstone: bool = False
+
+    def to_wire(self) -> WireCell:
+        """Serialise for RPC/storage (tombstones travel as None values)."""
+        return (self.row, self.column, self.version, None if self.tombstone else self.value)
+
+    @staticmethod
+    def from_wire(wire: WireCell) -> "Cell":
+        """Inverse of :meth:`to_wire`."""
+        row, column, version, value = wire
+        return Cell(row=row, column=column, version=version, value=value,
+                    tombstone=value is None)
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """A half-open row interval [start, end); ``end`` of None means +inf."""
+
+    start: str
+    end: Optional[str]
+
+    def contains(self, row: str) -> bool:
+        """Whether ``row`` falls inside this half-open range."""
+        if row < self.start:
+            return False
+        return self.end is None or row < self.end
+
+    def __str__(self) -> str:
+        return f"[{self.start!r}, {self.end!r})"
+
+
+def region_id(table: str, range_: KeyRange) -> str:
+    """Stable identifier for the region of ``table`` covering ``range_``."""
+    return f"{table},{range_.start}"
+
+
+def split_points_for(n_rows: int, n_regions: int, key_width: int = 12):
+    """Evenly spaced split points for ``row_key``-formatted tables."""
+    if n_regions < 1:
+        raise ValueError(f"need at least one region, got {n_regions}")
+    points = []
+    for i in range(1, n_regions):
+        points.append(row_key(i * n_rows // n_regions, key_width))
+    return points
+
+
+def row_key(index: int, key_width: int = 12) -> str:
+    """The canonical fixed-width row key for row ``index``.
+
+    Fixed width keeps lexicographic order equal to numeric order, which the
+    workload generators and region split points both rely on.
+    """
+    return f"user{index:0{key_width}d}"

@@ -1,0 +1,439 @@
+"""The master server: region assignment and server-failure handling.
+
+On a region-server death (detected through the coordination service's
+ephemeral znodes, as HBase does through ZooKeeper) the master:
+
+1. notifies the recovery manager that the server failed and which regions
+   are affected -- the paper's first hook;
+2. splits the dead server's durable WAL by region into recovered-edits
+   files;
+3. reassigns each affected region to a live server, passing the
+   recovered-edits path and the failed server's identity so the opening
+   server can run HBase-internal recovery and then wait on the
+   transactional recovery gate.
+
+Per the paper's assumptions the master itself is reliable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.config import KvSettings
+from repro.dfs.client import DfsClient
+from repro.errors import DfsError, KvError, RpcError
+from repro.kvstore.region import RegionDescriptor
+from repro.kvstore.regionserver import RS_ZNODE_DIR
+from repro.kvstore.wal import read_wal_records, wal_dir
+from repro.sim.events import Interrupt
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.zk.client import ZkClient, ZkWatcherMixin
+
+
+class Master(ZkWatcherMixin, Node):
+    """Cluster coordinator for the key-value store."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        net: Network,
+        addr: str = "master",
+        settings: Optional[KvSettings] = None,
+        namenode: str = "namenode",
+        zk_addr: str = "zk",
+        recovery_manager: Optional[str] = None,
+        replication: int = 2,
+    ) -> None:
+        super().__init__(kernel, net, addr)
+        self.settings = settings or KvSettings()
+        self.dfs = DfsClient(self, namenode=namenode, replication=replication)
+        self.zk = ZkClient(self, zk_addr=zk_addr)
+        #: Address of the recovery manager to notify on server failures
+        #: (the paper's master hook); None disables the notification.
+        self.recovery_manager = recovery_manager
+        self.tables: Dict[str, List[RegionDescriptor]] = {}
+        self.assignments: Dict[str, Optional[str]] = {}  # region -> server
+        self.online: Dict[str, bool] = {}  # region -> online?
+        self._live_servers: List[str] = []
+        self._assign_cursor = itertools.count()
+        self._epoch = itertools.count()
+        self._failures_handled = 0
+        self._splitting: set = set()
+        self._splits = 0
+        self._merges = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        """Start liveness monitoring.  (Generator API; run as a process.)"""
+        yield from self.zk.start_session()
+        self.spawn(self._liveness_loop(), name="liveness")
+        return self
+
+    def _liveness_loop(self):
+        try:
+            while True:
+                yield self.sleep(self.settings.master_tick)
+                children = yield from self.zk.get_children(RS_ZNODE_DIR)
+                servers = [path.rsplit("/", 1)[1] for path in children]
+                known = set(self._live_servers)
+                current = set(servers)
+                self._live_servers = servers
+                for dead in sorted(known - current):
+                    yield from self._handle_server_failure(dead)
+        except Interrupt:
+            return
+
+    def live_servers(self) -> List[str]:
+        """The servers currently considered alive."""
+        return list(self._live_servers)
+
+    # ------------------------------------------------------------------
+    # table / region management
+    # ------------------------------------------------------------------
+    def rpc_create_table(self, sender: str, table: str, split_points: List[str]):
+        """Create a table with regions at the given split points and assign
+        them round-robin across live servers."""
+        if table in self.tables:
+            raise KvError(f"table {table!r} already exists")
+        bounds = ["" ] + sorted(split_points)
+        regions: List[RegionDescriptor] = []
+        for i, start in enumerate(bounds):
+            end = bounds[i + 1] if i + 1 < len(bounds) else None
+            regions.append(RegionDescriptor(table=table, start=start, end=end))
+        self.tables[table] = regions
+
+        servers = yield from self._wait_for_servers()
+        for descriptor in regions:
+            server = servers[next(self._assign_cursor) % len(servers)]
+            self.assignments[descriptor.region_id] = server
+            self.online[descriptor.region_id] = False
+            yield self.call(
+                server,
+                "open_region",
+                timeout=30.0,
+                descriptor=descriptor.to_wire(),
+            )
+        return [d.region_id for d in regions]
+
+    def _wait_for_servers(self):
+        while True:
+            children = yield from self.zk.get_children(RS_ZNODE_DIR)
+            if children:
+                self._live_servers = [p.rsplit("/", 1)[1] for p in children]
+                return list(self._live_servers)
+            yield self.sleep(self.settings.master_tick)
+
+    def rpc_locate_table(self, sender: str, table: str):
+        """Full region map for ``table``: list of (start, end, region, server)."""
+        regions = self.tables.get(table)
+        if regions is None:
+            raise KvError(f"no such table {table!r}")
+        return [
+            {
+                "start": d.start,
+                "end": d.end,
+                "region": d.region_id,
+                "server": self.assignments.get(d.region_id),
+            }
+            for d in regions
+        ]
+
+    def rpc_region_online(self, sender: str, region: str, server: str) -> None:
+        """Region-server notification that a region came online."""
+        self.online[region] = True
+
+    def rpc_cluster_status(self, sender: str) -> dict:
+        """Assignment snapshot for tooling and tests."""
+        return {
+            "live_servers": list(self._live_servers),
+            "assignments": dict(self.assignments),
+            "online": dict(self.online),
+            "failures_handled": self._failures_handled,
+            "splits": self._splits,
+            "merges": self._merges,
+        }
+
+    # ------------------------------------------------------------------
+    # region moves and balancing (elastic scale-out, Section 2.1)
+    # ------------------------------------------------------------------
+    def rpc_move_region(self, sender: str, region: str, target: str):
+        """Move one region to ``target``: clean close (memstore flushed to
+        a store file), then a normal open on the target -- no log replay,
+        no recovery gate.  Clients retry through the brief offline window."""
+        source = self.assignments.get(region)
+        if source is None:
+            raise KvError(f"region {region!r} is unassigned")
+        if target not in self._live_servers:
+            raise KvError(f"target server {target!r} is not live")
+        if source == target:
+            return {"region": region, "server": target, "moved": False}
+        descriptors = {d.region_id: d for ds in self.tables.values() for d in ds}
+        descriptor = descriptors.get(region)
+        if descriptor is None:
+            raise KvError(f"unknown region {region!r}")
+        self.online[region] = False
+        yield self.call(source, "close_region", timeout=60.0, region_id=region)
+        self.assignments[region] = target
+        yield self.call(
+            target, "open_region", timeout=60.0, descriptor=descriptor.to_wire()
+        )
+        return {"region": region, "server": target, "moved": True}
+
+    def rpc_balance(self, sender: str):
+        """Even region counts across live servers (e.g. after scale-out).
+
+        Greedy: repeatedly move a region from the most- to the least-loaded
+        server until the spread is at most one.  Returns the moves made.
+        """
+        moves = []
+        while True:
+            loads: Dict[str, List[str]] = {s: [] for s in self._live_servers}
+            for region, server in self.assignments.items():
+                if server in loads:
+                    loads[server].append(region)
+            if not loads:
+                break
+            busiest = max(loads, key=lambda s: len(loads[s]))
+            idlest = min(loads, key=lambda s: len(loads[s]))
+            if len(loads[busiest]) - len(loads[idlest]) <= 1:
+                break
+            region = sorted(loads[busiest])[0]
+            yield from self._move_region_inline(region, busiest, idlest)
+            moves.append({"region": region, "from": busiest, "to": idlest})
+        return moves
+
+    def _move_region_inline(self, region: str, source: str, target: str):
+        descriptors = {d.region_id: d for ds in self.tables.values() for d in ds}
+        self.online[region] = False
+        yield self.call(source, "close_region", timeout=60.0, region_id=region)
+        self.assignments[region] = target
+        yield self.call(
+            target, "open_region", timeout=60.0,
+            descriptor=descriptors[region].to_wire(),
+        )
+
+    # ------------------------------------------------------------------
+    # region splits
+    # ------------------------------------------------------------------
+    def rpc_request_split(self, sender: str, region: str, midpoint: str, server: str):
+        """A region server reports a region over its size budget.
+
+        The master closes the region (memstore flushed), replaces it with
+        two children that inherit the parent's store-file directories, and
+        opens both on the same server.  Clients see the brief offline
+        window as routing errors and re-group their flushes against the
+        fresh region map.
+        """
+        holder = self.assignments.get(region)
+        if holder != server or region in self._splitting:
+            return {"split": False, "reason": "stale or in progress"}
+        descriptors = {d.region_id: d for ds in self.tables.values() for d in ds}
+        parent = descriptors.get(region)
+        if parent is None or not parent.key_range.contains(midpoint):
+            return {"split": False, "reason": "bad midpoint"}
+        if midpoint == parent.start:
+            return {"split": False, "reason": "degenerate midpoint"}
+        self._splitting.add(region)
+        try:
+            self.online[region] = False
+            yield self.call(holder, "close_region", timeout=60.0, region_id=region)
+
+            inherited = parent.all_dirs()
+            low = RegionDescriptor(
+                table=parent.table, start=parent.start, end=midpoint,
+                extra_dirs=inherited, gen=parent.gen + 1,
+            )
+            high = RegionDescriptor(
+                table=parent.table, start=midpoint, end=parent.end,
+                extra_dirs=inherited, gen=parent.gen + 1,
+            )
+            regions = self.tables[parent.table]
+            idx = regions.index(parent)
+            self.tables[parent.table] = regions[:idx] + [low, high] + regions[idx + 1:]
+            self.assignments.pop(region, None)
+            self.online.pop(region, None)
+            self._splits += 1
+            for child in (low, high):
+                self.assignments[child.region_id] = holder
+                self.online[child.region_id] = False
+                yield self.call(
+                    holder, "open_region", timeout=60.0,
+                    descriptor=child.to_wire(),
+                )
+            return {
+                "split": True,
+                "children": [low.region_id, high.region_id],
+            }
+        finally:
+            self._splitting.discard(region)
+
+    def rpc_merge_regions(self, sender: str, region_low: str, region_high: str):
+        """Merge two adjacent regions into one (an administrative action,
+        e.g. after deletions leave neighbours cold).
+
+        Both are closed cleanly (memstores flushed), then a single region
+        spanning their union opens on the low region's server, inheriting
+        both store directories.
+        """
+        descriptors = {d.region_id: d for ds in self.tables.values() for d in ds}
+        low = descriptors.get(region_low)
+        high = descriptors.get(region_high)
+        if low is None or high is None:
+            raise KvError("unknown region(s)")
+        if low.table != high.table or low.end != high.start:
+            raise KvError(f"{region_low!r} and {region_high!r} are not adjacent")
+        if region_low in self._splitting or region_high in self._splitting:
+            raise KvError("region operation already in progress")
+        self._splitting.update((region_low, region_high))
+        try:
+            target = self.assignments.get(region_low)
+            if target is None:
+                raise KvError(f"{region_low!r} is unassigned")
+            for region in (region_low, region_high):
+                self.online[region] = False
+                holder = self.assignments[region]
+                yield self.call(holder, "close_region", timeout=60.0, region_id=region)
+
+            inherited = sorted(set(low.all_dirs()) | set(high.all_dirs()))
+            merged = RegionDescriptor(
+                table=low.table, start=low.start, end=high.end,
+                extra_dirs=inherited, gen=max(low.gen, high.gen) + 1,
+            )
+            regions = self.tables[low.table]
+            idx = regions.index(low)
+            regions = [r for r in regions if r not in (low, high)]
+            regions.insert(idx, merged)
+            self.tables[low.table] = regions
+            for region in (region_low, region_high):
+                self.assignments.pop(region, None)
+                self.online.pop(region, None)
+            self.assignments[merged.region_id] = target
+            self.online[merged.region_id] = False
+            yield self.call(
+                target, "open_region", timeout=60.0, descriptor=merged.to_wire()
+            )
+            self._merges += 1
+            return {"merged": merged.region_id, "server": target}
+        finally:
+            self._splitting.discard(region_low)
+            self._splitting.discard(region_high)
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def _handle_server_failure(self, dead: str):
+        """Recover every region the dead server hosted (Section 3.2)."""
+        affected = sorted(
+            region for region, server in self.assignments.items() if server == dead
+        )
+        self._failures_handled += 1
+        for region in affected:
+            self.online[region] = False
+
+        # Hook 1: tell the recovery manager which server died and which
+        # regions are affected, before any region comes back.  Delivered
+        # reliably: if the recovery manager is down, the affected regions
+        # must stay offline until it returns (they are gated on its replay
+        # anyway), so we retry rather than reassign with a lost hook.
+        if self.recovery_manager is not None:
+            while True:
+                try:
+                    yield self.call(
+                        self.recovery_manager,
+                        "server_failed",
+                        timeout=2.0,
+                        server=dead,
+                        regions=affected,
+                    )
+                    break
+                except RpcError:
+                    yield self.sleep(0.5)
+
+        # Log splitting: group the dead server's durable WAL by region.
+        edits_by_region: Dict[str, List] = {region: [] for region in affected}
+        wal_paths = yield from self.dfs.list_dir(wal_dir(dead))
+        for path in wal_paths:
+            try:
+                records = yield from read_wal_records(self.dfs, path)
+            except DfsError:
+                # Every replica of this WAL is unreachable (e.g. a multi-
+                # machine failure): nothing durable to split.  Whatever the
+                # store loses here is exactly what the transactional
+                # recovery middleware replays from the TM log.
+                continue
+            for region_id, txn_ts, cells in records:
+                if region_id in edits_by_region:
+                    edits_by_region[region_id].append((region_id, txn_ts, cells))
+
+        epoch = next(self._epoch)
+        recovered_paths: Dict[str, Optional[str]] = {}
+        for region, edits in edits_by_region.items():
+            if not edits:
+                recovered_paths[region] = None
+                continue
+            path = f"/recovered/{region}/edits-{epoch}"
+            yield from self.dfs.create(path)
+            wire = [(edit, max(64, 64 * len(edit[2]))) for edit in edits]
+            yield from self.dfs.append(path, wire, durable=True)
+            yield from self.dfs.close(path)
+            recovered_paths[region] = path
+
+        # Reassign: regions can go to different servers and recover in
+        # parallel ("different regions can be assigned to different servers
+        # leading to parallel recovery").
+        servers = [s for s in self._live_servers if s != dead]
+        while not servers:
+            yield self.sleep(self.settings.master_tick)
+            servers = [s for s in self._live_servers if s != dead]
+        descriptors = {d.region_id: d for ds in self.tables.values() for d in ds}
+        opens = []
+        for region in affected:
+            server = servers[next(self._assign_cursor) % len(servers)]
+            self.assignments[region] = server
+            proc = self.spawn(
+                self._open_with_retry(
+                    server,
+                    descriptors[region].to_wire(),
+                    recovered_paths[region],
+                    dead,
+                ),
+                name=f"open:{region}",
+            )
+            proc.defuse()
+            opens.append(proc)
+        # Wait for the opens so consecutive failures are handled with a
+        # consistent view -- but the per-region retry loops never raise, so
+        # a permanently-unrecoverable region (e.g. store files lost beyond
+        # the replication factor) cannot wedge liveness monitoring: its
+        # loop gives up after a bound and the region stays visibly offline
+        # for operator intervention (Section 3.2's administrator case).
+        if opens:
+            yield self.kernel.all_of(opens)
+
+    def _open_with_retry(
+        self,
+        server: str,
+        descriptor: dict,
+        recovered_edits: Optional[str],
+        failed_server: str,
+        attempts: int = 10,
+    ):
+        for attempt in range(attempts):
+            try:
+                yield self.call(
+                    server,
+                    "open_region",
+                    timeout=120.0,
+                    descriptor=descriptor,
+                    recovered_edits=recovered_edits,
+                    failed_server=failed_server,
+                )
+                return True
+            except (RpcError, KvError):
+                yield self.sleep(1.0)  # e.g. DFS re-replication in progress
+        return False

@@ -1,0 +1,143 @@
+"""The per-region in-memory write store.
+
+Incoming updates land here (after the WAL append) and are served from here
+until a flush writes them to an immutable sstable.  Reads are
+multi-version: a get at snapshot timestamp ``ts`` returns the newest
+version <= ts.
+
+A flush proceeds in two phases so writes are never blocked: the active
+cell map is frozen into a *flush snapshot* (still readable), a fresh active
+map takes its place, and once the sstable is durably written the snapshot
+is dropped.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.kvstore.keys import Cell
+
+# row -> column -> list of (version, value, tombstone) sorted by version asc
+CellMap = Dict[str, Dict[str, List[Tuple[int, Any, bool]]]]
+
+
+class MemStore:
+    """MVCC in-memory store for one region."""
+
+    def __init__(self) -> None:
+        self._active: CellMap = {}
+        self._flushing: Optional[CellMap] = None
+        self.entries = 0
+        self.nbytes = 0
+        self._flushing_entries = 0
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put(self, cell: Cell, nbytes: int = 64) -> None:
+        """Insert one versioned cell (idempotent per (row, col, version))."""
+        versions = self._active.setdefault(cell.row, {}).setdefault(cell.column, [])
+        entry = (cell.version, cell.value, cell.tombstone)
+        idx = bisect.bisect_left(versions, (cell.version,))
+        if idx < len(versions) and versions[idx][0] == cell.version:
+            versions[idx] = entry  # duplicate replay: same version, overwrite
+            return
+        versions.insert(idx, entry)
+        self.entries += 1
+        self.nbytes += nbytes
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, row: str, column: str, max_version: int) -> Optional[Tuple[int, Any, bool]]:
+        """Newest (version, value, tombstone) <= max_version, or None."""
+        best = self._lookup(self._active, row, column, max_version)
+        if self._flushing is not None:
+            other = self._lookup(self._flushing, row, column, max_version)
+            if other is not None and (best is None or other[0] > best[0]):
+                best = other
+        return best
+
+    @staticmethod
+    def _lookup(
+        cells: CellMap, row: str, column: str, max_version: int
+    ) -> Optional[Tuple[int, Any, bool]]:
+        versions = cells.get(row, {}).get(column)
+        if not versions:
+            return None
+        idx = bisect.bisect_right(versions, max_version, key=lambda e: e[0]) - 1
+        if idx < 0:
+            return None
+        return versions[idx]
+
+    def scan(
+        self, start_row: str, end_row: Optional[str], max_version: int
+    ) -> Dict[str, Dict[str, Tuple[int, Any, bool]]]:
+        """Best version <= max_version per (row, column) in [start, end)."""
+        out: Dict[str, Dict[str, Tuple[int, Any, bool]]] = {}
+        for cells in (self._active, self._flushing or {}):
+            for row, columns in cells.items():
+                if row < start_row or (end_row is not None and row >= end_row):
+                    continue
+                for column in columns:
+                    hit = self._lookup(cells, row, column, max_version)
+                    if hit is None:
+                        continue
+                    current = out.get(row, {}).get(column)
+                    if current is None or hit[0] > current[0]:
+                        out.setdefault(row, {})[column] = hit
+        return out
+
+    # ------------------------------------------------------------------
+    # flush protocol
+    # ------------------------------------------------------------------
+    @property
+    def flushing(self) -> bool:
+        """Whether a flush snapshot is outstanding."""
+        return self._flushing is not None
+
+    def snapshot_for_flush(self) -> List[Cell]:
+        """Freeze the active map; returns its cells sorted by (row, col, version)."""
+        if self._flushing is not None:
+            raise RuntimeError("flush already in progress")
+        self._flushing = self._active
+        self._flushing_entries = self.entries
+        self._active = {}
+        self.entries = 0
+        self.nbytes = 0
+        out: List[Cell] = []
+        for row in sorted(self._flushing):
+            columns = self._flushing[row]
+            for column in sorted(columns):
+                for version, value, tombstone in columns[column]:
+                    out.append(Cell(row, column, version, value, tombstone))
+        return out
+
+    def discard_flush_snapshot(self) -> None:
+        """Drop the frozen map once its sstable is durable."""
+        self._flushing = None
+        self._flushing_entries = 0
+
+    def abort_flush(self) -> None:
+        """Flush failed: merge the snapshot back into the active map."""
+        if self._flushing is None:
+            return
+        snapshot, self._flushing = self._flushing, None
+        for row, columns in snapshot.items():
+            for column, versions in columns.items():
+                for version, value, tombstone in versions:
+                    self.put(Cell(row, column, version, value, tombstone))
+        self._flushing_entries = 0
+
+    def total_entries(self) -> int:
+        """Entries across the active map and any flush snapshot."""
+        return self.entries + self._flushing_entries
+
+    def clear(self) -> None:
+        """Drop everything (crash simulation / region close)."""
+        self._active = {}
+        self._flushing = None
+        self.entries = 0
+        self.nbytes = 0
+        self._flushing_entries = 0

@@ -1,0 +1,111 @@
+"""Region: one contiguous, assignable shard of a table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.kvstore.keys import KeyRange, region_id
+from repro.kvstore.memstore import MemStore
+from repro.kvstore.sstable import SSTable
+
+#: Region lifecycle states.
+OPENING = "opening"  # internal recovery / sstable loading in progress
+RECOVERING = "recovering"  # gated on the transactional recovery manager
+ONLINE = "online"
+OFFLINE = "offline"
+
+
+@dataclass
+class RegionDescriptor:
+    """Identity of a region, as passed around by the master."""
+
+    table: str
+    start: str
+    end: Optional[str]
+    #: DFS directories inherited from parent regions after a split; the
+    #: children keep reading the parent's store files (range-filtered by
+    #: routing) until compaction rewrites them into their own directories.
+    extra_dirs: List[str] = field(default_factory=list)
+    #: Split generation.  Gives each incarnation its own store directory:
+    #: the low child of a split shares the parent's start key, and must
+    #: not share its directory, or the child's compaction would delete
+    #: parent files its sibling still reads.
+    gen: int = 0
+
+    @property
+    def region_id(self) -> str:
+        """Stable identifier (table + start key)."""
+        return region_id(self.table, self.key_range)
+
+    @property
+    def key_range(self) -> KeyRange:
+        """The half-open row interval this region covers."""
+        return KeyRange(self.start, self.end)
+
+    def to_wire(self) -> dict:
+        """Serialise for master/server RPCs."""
+        return {
+            "table": self.table,
+            "start": self.start,
+            "end": self.end,
+            "extra_dirs": list(self.extra_dirs),
+            "gen": self.gen,
+        }
+
+    @staticmethod
+    def from_wire(wire: dict) -> "RegionDescriptor":
+        """Inverse of :meth:`to_wire`."""
+        return RegionDescriptor(
+            table=wire["table"],
+            start=wire["start"],
+            end=wire["end"],
+            extra_dirs=list(wire.get("extra_dirs", ())),
+            gen=wire.get("gen", 0),
+        )
+
+    def data_dir(self) -> str:
+        """DFS directory for this region incarnation's (own) sstables."""
+        base = self.start or "_first"
+        suffix = f".g{self.gen}" if self.gen else ""
+        return f"/data/{self.table}/{base}{suffix}/"
+
+    def all_dirs(self) -> List[str]:
+        """Every directory whose store files this region reads."""
+        return [self.data_dir()] + [d for d in self.extra_dirs if d != self.data_dir()]
+
+
+@dataclass
+class Region:
+    """A region as hosted on one region server."""
+
+    descriptor: RegionDescriptor
+    memstore: MemStore = field(default_factory=MemStore)
+    sstables: List[SSTable] = field(default_factory=list)
+    state: str = OPENING
+
+    @property
+    def region_id(self) -> str:
+        """The hosted region's identifier."""
+        return self.descriptor.region_id
+
+    @property
+    def online(self) -> bool:
+        """Whether the region currently serves regular traffic."""
+        return self.state == ONLINE
+
+    def accepts_writes(self, from_recovery: bool) -> bool:
+        """Online regions take any write; recovering ones only replays.
+
+        This enforces the paper's atomicity argument: a region affected by
+        a server failure must not serve regular traffic until the recovery
+        manager has supplemented HBase's internal recovery, or clients
+        could read partially recovered write-sets.
+        """
+        if self.state == ONLINE:
+            return True
+        return self.state == RECOVERING and from_recovery
+
+    def contains(self, row: str) -> bool:
+        """Whether ``row`` belongs to this region."""
+        return self.descriptor.key_range.contains(row)

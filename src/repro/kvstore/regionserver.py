@@ -1,0 +1,601 @@
+"""The region server.
+
+Serves multi-version reads (memstore, then block-cached sstables, with DFS
+reads on cache misses) and transactional write-set fragments (WAL append,
+memstore apply, sync or async persistence).  Background work: the WAL group
+syncer, and a memstore flusher that rolls full memstores into sstables.
+
+Recovery extensions (Section 3 of the paper) attach through a small hook
+surface -- ``extension`` -- so the store itself stays nearly unchanged,
+mirroring the paper's "extensions to the key-value store are kept to a
+minimum":
+
+* ``on_fragment_applied(region_id, txn_ts, n_cells, wal_seq, piggyback_tp)``
+  -- called after a write-set fragment is applied (server-side tracking).
+* ``region_gate(region_id, failed_server)`` -- generator awaited between
+  HBase-internal region recovery and declaring the region online.
+* ``on_server_started()`` -- called once startup completes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config import KvSettings
+from repro.dfs.client import DfsClient
+from repro.errors import RegionOffline, WrongRegionServer
+from repro.kvstore.blockcache import BlockCache
+from repro.kvstore.keys import Cell, WireCell
+from repro.kvstore.region import (
+    OFFLINE,
+    ONLINE,
+    OPENING,
+    RECOVERING,
+    Region,
+    RegionDescriptor,
+)
+from repro.kvstore.sstable import SSTable
+from repro.kvstore.wal import SYNC, WriteAheadLog
+from repro.sim.events import Interrupt
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.resource import Resource
+from repro.zk.client import ZkClient, ZkWatcherMixin
+
+#: ZK directory of live region-server ephemerals.
+RS_ZNODE_DIR = "/hbase/rs"
+
+# Block-map representation cached per block: (row, col) -> versions ascending.
+BlockMap = Dict[Tuple[str, str], List[Tuple[int, Any]]]
+
+
+def _block_to_map(cells: List[WireCell]) -> BlockMap:
+    out: BlockMap = {}
+    for row, col, version, value in cells:
+        out.setdefault((row, col), []).append((version, value))
+    for versions in out.values():
+        versions.sort()
+    return out
+
+
+class RegionServer(ZkWatcherMixin, Node):
+    """One HBase-like region server node."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        net: Network,
+        addr: str,
+        settings: Optional[KvSettings] = None,
+        namenode: str = "namenode",
+        master: str = "master",
+        zk_addr: str = "zk",
+        local_datanode: Optional[str] = None,
+        replication: int = 2,
+        cache_blocks: int = 4096,
+    ) -> None:
+        super().__init__(kernel, net, addr)
+        self.settings = settings or KvSettings()
+        self.master = master
+        self.local_datanode = local_datanode
+        self.dfs = DfsClient(self, namenode=namenode, replication=replication)
+        self.zk = ZkClient(self, zk_addr=zk_addr)
+        self.cpu = Resource(kernel, capacity=self.settings.rpc_workers)
+        self.cache = BlockCache(cache_blocks)
+        self.wal = WriteAheadLog(
+            self,
+            self.dfs,
+            mode=self.settings.wal_sync_mode,
+            sync_interval=self.settings.wal_sync_interval,
+            local_datanode=local_datanode,
+        )
+        self.regions: Dict[str, Region] = {}
+        self.extension: Optional[Any] = None
+        self.started = False
+        self._sst_seq = itertools.count()
+        self._compacting: set = set()
+        self._split_requested: set = set()
+        self._epoch = 0
+        self.stats = {
+            "gets": 0,
+            "fragments": 0,
+            "cells_applied": 0,
+            "flushes": 0,
+            "compactions": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        """Bring the server up.  (Generator API; run as a process.)
+
+        Opens the WAL, registers the liveness ephemeral, and starts the
+        memstore flusher.
+        """
+        yield from self.zk.start_session()
+        yield from self.wal.open()
+        yield from self.zk.create(f"{RS_ZNODE_DIR}/{self.addr}", ephemeral=True)
+        self.spawn(self._flusher_loop(), name="memstore-flusher")
+        self.started = True
+        if self.extension is not None:
+            self.extension.on_server_started()
+        return self
+
+    def on_crash(self) -> None:
+        """Volatile state dies: memstores, block cache, WAL buffer."""
+        for region in self.regions.values():
+            region.memstore.clear()
+            region.state = OPENING
+        self.regions.clear()
+        self.cache.clear()
+        self.wal.lose_buffer()
+        self.started = False
+        self._compacting.clear()
+        self._split_requested.clear()
+
+    def restart(self):
+        """Bring a crashed server back into the cluster.  (Generator API.)
+
+        Fresh volatile state and a new WAL epoch; the server rejoins with
+        no regions (the master assigns work to it on the next failover,
+        split, or explicit balance).  Only restart once any recovery for
+        the previous incarnation has completed.
+        """
+        if self.alive:
+            return self
+        self.revive()
+        self._epoch += 1
+        self.wal = WriteAheadLog(
+            self,
+            self.dfs,
+            mode=self.settings.wal_sync_mode,
+            sync_interval=self.settings.wal_sync_interval,
+            local_datanode=self.local_datanode,
+            epoch=self._epoch,
+        )
+        result = yield from self.start()
+        return result
+
+    # ------------------------------------------------------------------
+    # region assignment
+    # ------------------------------------------------------------------
+    def rpc_open_region(
+        self,
+        sender: str,
+        descriptor: dict,
+        recovered_edits: Optional[str] = None,
+        failed_server: Optional[str] = None,
+    ):
+        """Open (and if needed recover) a region, then declare it online.
+
+        Sequence per Section 3.2: load sstables, replay recovered edits
+        from the split WAL (HBase-internal recovery), then -- if a recovery
+        extension is attached -- wait for the transactional recovery gate
+        before going online.
+        """
+        desc = RegionDescriptor.from_wire(descriptor)
+        region = Region(descriptor=desc, state=OPENING)
+        self.regions[desc.region_id] = region
+
+        # Load the immutable store files for this region -- its own
+        # directory plus any directories inherited from split parents.
+        for directory in desc.all_dirs():
+            paths = yield from self.dfs.list_dir(directory)
+            for path in paths:
+                meta = yield from self.dfs.stat(path)
+                if not meta["closed"]:
+                    continue  # partial flush abandoned by a crashed server
+                sstable = yield from SSTable.open(self.dfs, path)
+                region.sstables.append(sstable)
+
+        # HBase-internal recovery: replay the split WAL edits.
+        replayed = 0
+        if recovered_edits is not None:
+            exists = yield from self.dfs.exists(recovered_edits)
+            if exists:
+                records = yield from self.dfs.read_all(recovered_edits)
+                for payload, _nbytes in records:
+                    _region_id, txn_ts, cells = payload
+                    for wire in cells:
+                        region.memstore.put(Cell.from_wire(wire))
+                        replayed += 1
+
+        # Transactional recovery gate (the paper's hook).
+        if self.extension is not None and failed_server is not None:
+            region.state = RECOVERING
+            yield from self.extension.region_gate(desc.region_id, failed_server)
+
+        region.state = ONLINE
+        self.cast(self.master, "region_online", region=desc.region_id, server=self.addr)
+        return {"region": desc.region_id, "replayed_edits": replayed}
+
+    def rpc_close_region(self, sender: str, region_id: str):
+        """Cleanly close a region for a move (not a failure path).
+
+        New operations are rejected as soon as closing starts; the memstore
+        is flushed to a store file so the receiving server needs no log
+        replay; then the region is dropped.
+        """
+        region = self._require_region(region_id)
+        region.state = OFFLINE  # reads and writes now bounce with retries
+        while region.memstore.flushing:
+            yield self.sleep(0.05)  # an in-flight background flush finishes
+        if region.memstore.total_entries() > 0:
+            yield from self._flush_region(region)
+        self.regions.pop(region_id, None)
+        self._split_requested.discard(region_id)
+        return {"region": region_id, "sstables": len(region.sstables)}
+
+    def _require_region(self, region_id: str) -> Region:
+        region = self.regions.get(region_id)
+        if region is None:
+            raise WrongRegionServer(region_id, self.addr)
+        return region
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def rpc_get(
+        self, sender: str, region_id: str, row: str, column: str, max_version: int
+    ):
+        """Multi-version read: newest (version, value) <= max_version.
+
+        The client routes by region id (tables may have overlapping row
+        keyspaces, so a bare row is ambiguous on a server hosting several
+        tables' regions).
+        """
+        region = self._require_region(region_id)
+        if not region.online:
+            raise RegionOffline(region.region_id)
+        if not region.contains(row):
+            raise WrongRegionServer(f"row {row!r}", self.addr)
+        yield from self.cpu.use(self.settings.op_service_time)
+        self.stats["gets"] += 1
+
+        best: Optional[Tuple[int, Any]] = None
+        hit = region.memstore.get(row, column, max_version)
+        if hit is not None:
+            version, value, tombstone = hit
+            best = (version, None if tombstone else value)
+
+        for sstable in list(region.sstables):
+            block_idx = sstable.block_for_row(row)
+            if block_idx is None:
+                continue
+            block_map = yield from self._cached_block(region, sstable, block_idx)
+            if block_map is None:
+                continue  # the file is gone; the sstable was dropped
+            versions = block_map.get((row, column))
+            if versions:
+                candidate = self._best_version(versions, max_version)
+                if candidate is not None and (best is None or candidate[0] > best[0]):
+                    best = candidate
+        return best
+
+    def _cached_block(self, region: Region, sstable: SSTable, block_idx: int):
+        """Fetch one block through the cache.  (Generator API.)
+
+        Returns None -- and drops the sstable from the region -- when the
+        underlying file no longer exists (e.g. deleted by a compaction
+        elsewhere after a split); its data lives on in the compacted file
+        that the region also references.
+        """
+        key = (sstable.path, block_idx)
+        block_map = self.cache.get(key)
+        if block_map is not None:
+            return block_map
+        try:
+            cells = yield from sstable.read_block(self.dfs, block_idx)
+        except Interrupt:
+            raise
+        except Exception as exc:
+            if "FileNotFound" in repr(exc):
+                try:
+                    region.sstables.remove(sstable)
+                except ValueError:
+                    pass
+                self.cache.invalidate_file(sstable.path)
+                return None
+            raise
+        yield from self.cpu.use(self.settings.cache_miss_penalty)
+        block_map = _block_to_map(cells)
+        self.cache.put(key, block_map)
+        return block_map
+
+    @staticmethod
+    def _best_version(
+        versions: List[Tuple[int, Any]], max_version: int
+    ) -> Optional[Tuple[int, Any]]:
+        best = None
+        for version, value in versions:
+            if version > max_version:
+                break
+            best = (version, value)
+        return best
+
+    def rpc_scan(
+        self,
+        sender: str,
+        region_id: str,
+        start_row: str,
+        end_row: Optional[str],
+        max_version: int,
+        limit: int = 1000,
+    ):
+        """Range scan within one region: newest version <= max_version per
+        (row, column), rows ascending, at most ``limit`` rows.
+
+        Returns ``{"cells": [(row, col, version, value)], "more": bool}``;
+        ``more`` signals the caller to continue from the last row returned.
+        """
+        region = self.regions.get(region_id)
+        if region is None:
+            raise WrongRegionServer(region_id, self.addr)
+        if not region.online:
+            raise RegionOffline(region_id)
+        yield from self.cpu.use(self.settings.op_service_time)
+
+        # (row, column) -> (version, value); merged across stores.
+        best: Dict[Tuple[str, str], Tuple[int, Any]] = {}
+        mem = region.memstore.scan(start_row, end_row, max_version)
+        for row, columns in mem.items():
+            for column, (version, value, tombstone) in columns.items():
+                best[(row, column)] = (version, None if tombstone else value)
+
+        for sstable in list(region.sstables):
+            if not sstable.index:
+                continue
+            first = sstable.block_for_row(start_row)
+            first = 0 if first is None else first
+            for block_idx in range(first, sstable.n_blocks):
+                if end_row is not None and sstable.index[block_idx] >= end_row:
+                    break
+                block_map = yield from self._cached_block(region, sstable, block_idx)
+                if block_map is None:
+                    break  # file gone; sstable dropped from the region
+                for (row, column), versions in block_map.items():
+                    if row < start_row or (end_row is not None and row >= end_row):
+                        continue
+                    candidate = self._best_version(versions, max_version)
+                    if candidate is None:
+                        continue
+                    current = best.get((row, column))
+                    if current is None or candidate[0] > current[0]:
+                        best[(row, column)] = candidate
+
+        rows_sorted = sorted({row for row, _col in best})
+        more = len(rows_sorted) > limit
+        keep = set(rows_sorted[:limit])
+        out = [
+            (row, column, version, value)
+            for (row, column), (version, value) in sorted(best.items())
+            if row in keep and value is not None
+        ]
+        return {"cells": out, "more": more}
+
+    # ------------------------------------------------------------------
+    # transactional writes
+    # ------------------------------------------------------------------
+    def rpc_txn_flush(
+        self,
+        sender: str,
+        region_id: str,
+        txn_ts: int,
+        cells: List[WireCell],
+        piggyback_tp: Optional[int] = None,
+        from_recovery: bool = False,
+    ):
+        """Apply one write-set fragment (all cells fall in ``region_id``).
+
+        WAL-append first, then memstore.  In sync mode the reply waits for
+        the WAL to be durable in the DFS; in async mode (the paper's) the
+        reply is immediate and the group syncer persists shortly after.
+        ``piggyback_tp`` carries the failed server's persisted threshold on
+        recovery replays (Section 3.2, responsibility inheritance).
+        """
+        region = self._require_region(region_id)
+        if not region.accepts_writes(from_recovery):
+            raise RegionOffline(region_id)
+        if any(not region.contains(wire[0]) for wire in cells):
+            # A stale pre-split grouping: some cells belong elsewhere now.
+            # Reject the whole fragment; the client re-groups and retries.
+            raise WrongRegionServer(region_id, self.addr)
+        yield from self.cpu.use(
+            self.settings.op_service_time * max(1, len(cells)) * 0.5
+        )
+        seq = self.wal.append(region_id, txn_ts, cells)
+        for wire in cells:
+            region.memstore.put(Cell.from_wire(wire))
+        self.stats["fragments"] += 1
+        self.stats["cells_applied"] += len(cells)
+
+        if self.wal.mode == SYNC:
+            yield from self.wal.sync_through(seq)
+
+        if self.extension is not None:
+            self.extension.on_fragment_applied(
+                region_id, txn_ts, len(cells), seq, piggyback_tp
+            )
+        return {"region": region_id, "seq": seq}
+
+    # ------------------------------------------------------------------
+    # memstore flushing
+    # ------------------------------------------------------------------
+    def _flusher_loop(self):
+        try:
+            while True:
+                yield self.sleep(0.5)
+                for region in list(self.regions.values()):
+                    if (
+                        region.online
+                        and not region.memstore.flushing
+                        and region.memstore.entries >= self.settings.memstore_flush_entries
+                    ):
+                        yield from self._flush_region(region)
+                    if (
+                        region.online
+                        and len(region.sstables) > self.settings.compaction_threshold
+                        and region.region_id not in self._compacting
+                    ):
+                        self._compacting.add(region.region_id)
+                        proc = self.spawn(
+                            self._compact_region(region),
+                            name=f"compact:{region.region_id}",
+                        )
+                        proc.defuse()
+                    self._maybe_request_split(region)
+        except Interrupt:
+            return
+
+    def _maybe_request_split(self, region: Region) -> None:
+        """Ask the master to split a region that has outgrown its budget."""
+        threshold = self.settings.region_split_entries
+        if threshold is None or not region.online:
+            return
+        if region.region_id in self._split_requested:
+            return
+        if self._region_size(region) < threshold:
+            return
+        midpoint = self._split_midpoint(region)
+        if midpoint is None:
+            return
+        self._split_requested.add(region.region_id)
+        self.cast(
+            self.master,
+            "request_split",
+            region=region.region_id,
+            midpoint=midpoint,
+            server=self.addr,
+        )
+
+    def _region_size(self, region: Region) -> int:
+        """Entries attributable to this region's key range.
+
+        Inherited split-parent store files contain both children's rows;
+        pro-rate their entry counts by the fraction of block boundaries
+        that fall inside this region, or every split would immediately
+        re-trigger on the children (a split cascade).
+        """
+        size = region.memstore.total_entries()
+        for sstable in region.sstables:
+            if not sstable.index:
+                continue
+            in_range = sum(1 for row in sstable.index if region.contains(row))
+            size += int(sstable.entries * in_range / len(sstable.index))
+        return size
+
+    def _split_midpoint(self, region: Region) -> Optional[str]:
+        """A block boundary near the middle of the region's key range."""
+        candidates = []
+        for sstable in region.sstables:
+            for row in sstable.index:
+                if region.contains(row) and row != region.descriptor.start:
+                    candidates.append(row)
+        if not candidates:
+            return None
+        candidates.sort()
+        return candidates[len(candidates) // 2]
+
+    def _flush_region(self, region: Region):
+        """Write the region's memstore out as a new sstable."""
+        cells = region.memstore.snapshot_for_flush()
+        if not cells:
+            region.memstore.discard_flush_snapshot()
+            return
+        path = f"{region.descriptor.data_dir()}sst-{self.addr}-{next(self._sst_seq)}"
+        try:
+            sstable = yield from SSTable.write(
+                self.dfs,
+                path,
+                cells,
+                rows_per_block=self.settings.rows_per_block,
+                preferred=self.local_datanode,
+            )
+        except Interrupt:
+            raise
+        except Exception:
+            region.memstore.abort_flush()
+            return
+        region.sstables.append(sstable)
+        region.memstore.discard_flush_snapshot()
+        self.stats["flushes"] += 1
+
+    def _compact_region(self, region: Region):
+        """Size-tiered minor compaction: merge the region's store files.
+
+        All versions are retained (the MVCC read path depends on them for
+        the duration of a run); duplicate cells from idempotent replays
+        collapse to one.  A crash mid-compaction leaves the unclosed output
+        file behind, which region opening skips.
+        """
+        try:
+            inputs = list(region.sstables)
+            own_dir = region.descriptor.data_dir()
+            merged: Dict[Tuple[str, str, int], Cell] = {}
+            for sstable in inputs:
+                for block_idx in range(sstable.n_blocks):
+                    wire_cells = yield from sstable.read_block(self.dfs, block_idx)
+                    for wire in wire_cells:
+                        cell = Cell.from_wire(wire)
+                        if not region.contains(cell.row):
+                            continue  # split-parent file: other child's rows
+                        merged[(cell.row, cell.column, cell.version)] = cell
+            cells = [merged[key] for key in sorted(merged)]
+            path = (
+                f"{region.descriptor.data_dir()}"
+                f"sst-{self.addr}-c{next(self._sst_seq)}"
+            )
+            compacted = yield from SSTable.write(
+                self.dfs,
+                path,
+                cells,
+                rows_per_block=self.settings.rows_per_block,
+                preferred=self.local_datanode,
+            )
+            if self.regions.get(region.region_id) is not region:
+                # The region was closed (moved or split) while we
+                # compacted.  Abandon: deleting the inputs now would pull
+                # files out from under whoever reads them next.  The
+                # compacted file stays as a harmless duplicate for the
+                # janitor.
+                return
+            # Swap: keep any sstable flushed while we were compacting.
+            region.sstables = [compacted] + [
+                s for s in region.sstables if s not in inputs
+            ]
+            for old in inputs:
+                self.cache.invalidate_file(old.path)
+                # Inherited (split-parent) files may still be read by the
+                # sibling region; only our own directory's files go.  The
+                # parent directory is garbage for an offline janitor once
+                # both children have compacted, as in HBase.
+                if old.path.startswith(own_dir):
+                    yield from self.dfs.delete(old.path)
+            self.stats["compactions"] += 1
+        except Interrupt:
+            raise
+        except Exception:
+            return  # failed compaction: inputs remain authoritative
+        finally:
+            self._compacting.discard(region.region_id)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def hosted_regions(self) -> List[str]:
+        """Region ids currently hosted (any state)."""
+        return sorted(self.regions)
+
+    def rpc_server_status(self, sender: str) -> dict:
+        """Operational snapshot for tooling and tests."""
+        return {
+            "addr": self.addr,
+            "regions": {rid: r.state for rid, r in self.regions.items()},
+            "wal_pending": self.wal.pending,
+            "cache_blocks": len(self.cache),
+            "cache_hit_rate": self.cache.hit_rate,
+            "stats": dict(self.stats),
+        }

@@ -1,0 +1,111 @@
+"""Message-level tracing for debugging distributed runs.
+
+When enabled, the network records every message send, delivery, and drop,
+plus node crashes, into a bounded ring buffer.  Because the simulation is
+deterministic, a trace of a failing seed is a complete, replayable account
+of what happened -- grep it instead of sprinkling prints.
+
+Usage::
+
+    cluster = SimCluster(config)
+    tracer = cluster.enable_tracing()
+    ...
+    print(tracer.format(kind="drop"))
+    print(tracer.summary())
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+#: Event kinds recorded by the network layer.
+SEND = "send"
+DELIVER = "deliver"
+DROP = "drop"
+CRASH = "crash"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence."""
+
+    t: float
+    kind: str
+    src: str
+    dst: str
+    method: str
+
+    def __str__(self) -> str:
+        return f"{self.t:12.6f}  {self.kind:<8} {self.src:>12} -> {self.dst:<12} {self.method}"
+
+
+class Tracer:
+    """Bounded ring buffer of :class:`TraceEvent`."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.enabled = True
+        self.dropped_events = 0
+
+    def record(self, t: float, kind: str, src: str, dst: str, method: str) -> None:
+        """Append one event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        if len(self._events) == self.capacity:
+            self.dropped_events += 1
+        self._events.append(TraceEvent(t=t, kind=kind, src=src, dst=dst, method=method))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def events(
+        self,
+        kind: Optional[str] = None,
+        component: Optional[str] = None,
+        method: Optional[str] = None,
+        t_from: float = 0.0,
+        t_to: float = float("inf"),
+    ) -> List[TraceEvent]:
+        """Filtered view of the buffer, oldest first."""
+        out = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if component is not None and component not in (event.src, event.dst):
+                continue
+            if method is not None and event.method != method:
+                continue
+            if not (t_from <= event.t < t_to):
+                continue
+            out.append(event)
+        return out
+
+    def format(self, limit: int = 100, **filters) -> str:
+        """Human-readable tail of the (filtered) trace."""
+        events = self.events(**filters)[-limit:]
+        if not events:
+            return "(no matching trace events)"
+        return "\n".join(str(e) for e in events)
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Counts by kind and by RPC method."""
+        by_kind: Counter = Counter()
+        by_method: Counter = Counter()
+        for event in self._events:
+            by_kind[event.kind] += 1
+            if event.kind in (SEND, DELIVER):
+                by_method[event.method] += 1
+        return {"by_kind": dict(by_kind), "by_method": dict(by_method)}
+
+    def clear(self) -> None:
+        """Discard all buffered events."""
+        self._events.clear()
+        self.dropped_events = 0
+
+    def __len__(self) -> int:
+        return len(self._events)

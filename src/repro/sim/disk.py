@@ -1,0 +1,57 @@
+"""Stable-storage latency model.
+
+A :class:`Disk` serialises synchronous writes through a capacity-1 resource
+(one head / one fsync at a time) and charges a seek-plus-transfer latency per
+write.  This is what makes synchronous WAL persistence expensive in the
+fig2a experiment and what makes group commit worth having in the transaction
+manager's log.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.resource import Resource
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Kernel
+
+
+class Disk:
+    """One stable-storage device with serialised synchronous writes."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        name: str,
+        sync_latency: float = 0.003,
+        bytes_per_second: float = 80e6,
+        jitter_fraction: float = 0.15,
+    ) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.sync_latency = sync_latency
+        self.bytes_per_second = bytes_per_second
+        self._rng = kernel.rng.substream(f"disk:{name}")
+        self._head = Resource(kernel, capacity=1)
+        self._jitter = jitter_fraction
+        self.bytes_written = 0
+        self.syncs = 0
+
+    def sync_write(self, nbytes: int):
+        """Generator helper: durably write ``nbytes`` (seek + transfer).
+
+        Writes are serialised: concurrent callers queue, so a hot log device
+        exhibits realistic convoying under load.
+        """
+        duration = self._rng.jittered(self.sync_latency, self._jitter)
+        if self.bytes_per_second > 0:
+            duration += nbytes / self.bytes_per_second
+        self.bytes_written += nbytes
+        self.syncs += 1
+        yield from self._head.use(duration)
+
+    @property
+    def queue_length(self) -> int:
+        """Writers currently waiting for the device."""
+        return self._head.queue_length

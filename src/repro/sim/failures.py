@@ -1,0 +1,114 @@
+"""Declarative failure schedules.
+
+Experiments describe *what goes wrong when* as data; the injector arms the
+events against a kernel.  Supported faults: node crashes, network
+partitions (with optional healing), and arbitrary callables for anything
+custom.  The paper treats partitions as crash failures, so partition
+windows are how its partition semantics are exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network
+
+
+@dataclass(frozen=True)
+class CrashNode:
+    """Crash one node (and optionally co-located ones) at ``at`` seconds."""
+
+    at: float
+    addrs: Sequence[str]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Cut traffic between two address groups during [at, heal_at)."""
+
+    at: float
+    group_a: Sequence[str]
+    group_b: Sequence[str]
+    heal_at: Optional[float] = None  # None: never heals
+
+
+@dataclass(frozen=True)
+class Custom:
+    """Run an arbitrary callable at ``at`` seconds."""
+
+    at: float
+    action: Callable[[], None]
+    label: str = "custom"
+
+
+Fault = object  # CrashNode | Partition | Custom
+
+
+@dataclass
+class FailureSchedule:
+    """An ordered collection of faults, armed relative to injection time."""
+
+    faults: List[Fault] = field(default_factory=list)
+
+    def crash(self, at: float, *addrs: str) -> "FailureSchedule":
+        """Crash the given nodes at ``at`` seconds after injection."""
+        self.faults.append(CrashNode(at=at, addrs=addrs))
+        return self
+
+    def partition(
+        self, at: float, group_a, group_b, heal_at: Optional[float] = None
+    ) -> "FailureSchedule":
+        """Cut traffic between the groups (optionally healing later)."""
+        self.faults.append(
+            Partition(at=at, group_a=tuple(group_a), group_b=tuple(group_b),
+                      heal_at=heal_at)
+        )
+        return self
+
+    def custom(self, at: float, action: Callable[[], None], label: str = "custom"):
+        """Run an arbitrary callable at ``at`` seconds."""
+        self.faults.append(Custom(at=at, action=action, label=label))
+        return self
+
+    def inject(self, kernel: Kernel, net: Network) -> List[str]:
+        """Arm every fault relative to ``kernel.now``; returns a log of
+        what was armed (for experiment records)."""
+        armed: List[str] = []
+        for fault in self.faults:
+            if isinstance(fault, CrashNode):
+                def do_crash(f=fault):
+                    for addr in f.addrs:
+                        node = net.nodes.get(addr)
+                        if node is not None:
+                            node.crash()
+
+                _arm(kernel, fault.at, do_crash)
+                armed.append(f"t+{fault.at:g}s crash {','.join(fault.addrs)}")
+            elif isinstance(fault, Partition):
+                def do_cut(f=fault):
+                    net.partition(f.group_a, f.group_b)
+
+                _arm(kernel, fault.at, do_cut)
+                armed.append(
+                    f"t+{fault.at:g}s partition {list(fault.group_a)} | "
+                    f"{list(fault.group_b)}"
+                )
+                if fault.heal_at is not None:
+                    def do_heal(f=fault):
+                        net.heal(f.group_a, f.group_b)
+
+                    _arm(kernel, fault.heal_at, do_heal)
+                    armed.append(f"t+{fault.heal_at:g}s heal")
+            elif isinstance(fault, Custom):
+                _arm(kernel, fault.at, fault.action)
+                armed.append(f"t+{fault.at:g}s {fault.label}")
+            else:
+                raise TypeError(f"unknown fault {fault!r}")
+        return armed
+
+
+def _arm(kernel: Kernel, delay: float, action: Callable[[], None]) -> None:
+    timer = kernel.timeout(delay)
+    timer.callbacks.append(lambda _ev: action())

@@ -1,0 +1,139 @@
+"""The discrete-event scheduler.
+
+The kernel owns simulated time, a priority queue of triggered events, and a
+seeded random-number generator.  Because event processing order is fully
+determined by ``(time, priority, sequence)``, a run with a given seed is
+bit-for-bit reproducible -- the property all tests and benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import ScheduleError, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, NORMAL, Timeout
+from repro.sim.process import ProcGen, Process
+from repro.sim.rng import SeededRng
+
+
+class Kernel:
+    """Event loop for a single simulation run.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide RNG.  Two kernels with the same seed
+        and the same program produce identical traces.
+    strict:
+        When True (the default), a process that dies with an exception other
+        than :class:`Interrupt` while nothing is waiting on it escalates the
+        exception out of :meth:`run` -- silent failures hide bugs.  Waited-on
+        process failures are delivered to the waiter instead.
+    """
+
+    def __init__(self, seed: int = 0, strict: bool = True) -> None:
+        self.now: float = 0.0
+        self.rng = SeededRng(seed)
+        self.strict = strict
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._event_count = 0
+        #: Unhandled process failures observed so far (for post-mortems).
+        self.dead_processes: List[Tuple[Process, BaseException]] = []
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that triggers after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcGen, name: Optional[str] = None) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Composite event that fires when every child has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Composite event that fires when the first child fires."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _enqueue(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, priority, self._seq, event))
+
+    def _note_process_failure(self, process: Process, exc: BaseException) -> None:
+        if not isinstance(exc, Interrupt):
+            self.dead_processes.append((process, exc))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    @property
+    def event_count(self) -> int:
+        """Number of events processed so far (a cheap progress measure)."""
+        return self._event_count
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise ScheduleError("step() on an empty event queue")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        if when < self.now:
+            raise SimulationError(f"time went backwards: {when} < {self.now}")
+        self.now = when
+        if isinstance(event, Timeout):
+            event._materialize()
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        self._event_count += 1
+        if (
+            self.strict
+            and isinstance(event, Process)
+            and not event.ok
+            and not event._defused
+            and not isinstance(event.value, Interrupt)
+        ):
+            raise SimulationError(
+                f"process {event.name!r} died unhandled at t={self.now:.6f}"
+            ) from event.value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``."""
+        if until is not None and until < self.now:
+            raise ScheduleError(f"run(until={until}) is in the past (now={self.now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None and self.now < until:
+            self.now = until
+
+    def run_until_complete(self, process: Process) -> Any:
+        """Run until ``process`` finishes, returning its value."""
+        process.defuse()  # the caller is the waiter; don't escalate in step()
+        while not process.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: queue empty but {process.name!r} is not done"
+                )
+            self.step()
+        if not process.ok:
+            raise process.value
+        return process.value

@@ -1,0 +1,149 @@
+"""Latency-modelled message passing between simulated nodes.
+
+The model matches the paper's testbed at the level that matters for the
+experiments: a switched LAN with per-message propagation delay plus a
+bandwidth term (the paper used 100 Mbps Ethernet, so kilobyte-sized
+write-sets are not free).  Partitions and node crashes drop messages; there
+is no reordering beyond what differing latencies produce, and no duplication.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Optional, Set
+
+from repro.errors import SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Kernel
+    from repro.sim.node import Node
+
+
+@dataclass
+class Message:
+    """One network message (RPC request or response)."""
+
+    src: str
+    dst: str
+    kind: str  # "request" | "response"
+    req_id: int
+    method: str
+    payload: Dict[str, Any]
+    ok: bool = True
+    error: Optional[str] = None
+    size: int = 256  # bytes, for the bandwidth term
+
+
+class LatencyModel:
+    """One-way delivery delay: propagation + size/bandwidth, with jitter."""
+
+    def __init__(
+        self,
+        mean_latency: float = 0.00025,
+        jitter_fraction: float = 0.2,
+        bandwidth_bytes_per_s: float = 12.5e6,
+    ) -> None:
+        self.mean_latency = mean_latency
+        self.jitter_fraction = jitter_fraction
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+
+    def sample(self, rng, size: int) -> float:
+        """One-way delay for a message of ``size`` bytes."""
+        base = rng.jittered(self.mean_latency, self.jitter_fraction)
+        if self.bandwidth_bytes_per_s > 0:
+            base += size / self.bandwidth_bytes_per_s
+        return base
+
+
+class Network:
+    """The message fabric connecting all nodes of one simulated cluster."""
+
+    def __init__(self, kernel: "Kernel", latency: Optional[LatencyModel] = None) -> None:
+        self.kernel = kernel
+        self.latency = latency or LatencyModel()
+        self.nodes: Dict[str, "Node"] = {}
+        self._partitions: Set[FrozenSet[str]] = set()
+        self._rng = kernel.rng.substream("network")
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        #: Optional message tracer (see repro.metrics.tracing).
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register(self, node: "Node", replace: bool = False) -> None:
+        """Attach a node to the fabric under its address."""
+        if node.addr in self.nodes and not replace:
+            existing = self.nodes[node.addr]
+            if existing is not node and existing.alive:
+                raise SimulationError(f"address {node.addr!r} already registered")
+        self.nodes[node.addr] = node
+
+    def node(self, addr: str) -> "Node":
+        """Look up a registered node by address."""
+        try:
+            return self.nodes[addr]
+        except KeyError:
+            raise SimulationError(f"unknown node address {addr!r}") from None
+
+    # ------------------------------------------------------------------
+    # partitions
+    # ------------------------------------------------------------------
+    def partition(self, group_a, group_b) -> None:
+        """Block all traffic between the two address groups."""
+        for a, b in itertools.product(group_a, group_b):
+            self._partitions.add(frozenset((a, b)))
+
+    def heal(self, group_a=None, group_b=None) -> None:
+        """Remove partitions (all of them when called without arguments)."""
+        if group_a is None or group_b is None:
+            self._partitions.clear()
+            return
+        for a, b in itertools.product(group_a, group_b):
+            self._partitions.discard(frozenset((a, b)))
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether a message from ``src`` can currently reach ``dst``."""
+        if frozenset((src, dst)) in self._partitions:
+            return False
+        node = self.nodes.get(dst)
+        return node is not None and node.alive
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Dispatch a message; it arrives after a sampled one-way delay.
+
+        Reachability is evaluated at *delivery* time: a message in flight
+        when its destination dies is lost, one in flight when the
+        destination is healthy is delivered even if the sender has since
+        crashed (packets do not recall themselves).
+        """
+        self.messages_sent += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                self.kernel.now, "send", message.src, message.dst, message.method
+            )
+        delay = self.latency.sample(self._rng, message.size)
+        arrival = self.kernel.timeout(delay)
+        arrival.callbacks.append(lambda _ev, m=message: self._deliver(m))
+
+    def _deliver(self, message: Message) -> None:
+        if not self.reachable(message.src, message.dst):
+            self.messages_dropped += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.kernel.now, "drop", message.src, message.dst,
+                    message.method,
+                )
+            return
+        if self.tracer is not None:
+            self.tracer.record(
+                self.kernel.now, "deliver", message.src, message.dst,
+                message.method,
+            )
+        self.nodes[message.dst]._on_message(message)

@@ -1,0 +1,228 @@
+"""Node base class: process ownership, crash semantics, and RPC plumbing.
+
+A node is one failure domain.  All of its background work runs in processes
+spawned through :meth:`Node.spawn`; :meth:`Node.crash` interrupts every one
+of them and drops the node off the network, which is exactly the paper's
+failure model (crash failures; partitions are treated as crashes).
+
+RPC convention: a handler for method ``foo`` is an instance method named
+``rpc_foo(self, sender, **payload)``.  A handler may return a plain value
+(replied immediately) or a generator (run as a process; the reply carries
+its return value).  Exceptions raised by handlers travel back to the caller
+as :class:`~repro.errors.RemoteError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional, Set
+
+from repro.errors import NodeDown, RemoteError, RpcTimeout
+from repro.sim.events import Event, Interrupt
+from repro.sim.kernel import Kernel
+from repro.sim.network import Message, Network
+from repro.sim.process import ProcGen, Process
+
+_req_ids = itertools.count(1)
+
+
+class Node:
+    """A simulated machine/process with an address on the network."""
+
+    def __init__(self, kernel: Kernel, net: Network, addr: str) -> None:
+        self.kernel = kernel
+        self.net = net
+        self.addr = addr
+        self.alive = True
+        self._procs: Set[Process] = set()
+        self._pending_calls: Dict[int, Event] = {}
+        net.register(self, replace=True)
+
+    # ------------------------------------------------------------------
+    # process management
+    # ------------------------------------------------------------------
+    def spawn(self, generator: ProcGen, name: Optional[str] = None) -> Process:
+        """Run ``generator`` as a process owned by (and dying with) this node."""
+        process = self.kernel.process(generator, name=f"{self.addr}/{name or 'proc'}")
+        self._procs.add(process)
+        process.callbacks.append(lambda _ev, p=process: self._procs.discard(p))
+        return process
+
+    def sleep(self, delay: float) -> Event:
+        """Timeout event helper for use inside this node's processes."""
+        return self.kernel.timeout(delay)
+
+    # ------------------------------------------------------------------
+    # failure model
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash-stop: kill every process, drop volatile state, go dark."""
+        if not self.alive:
+            return
+        self.alive = False
+        if self.net.tracer is not None:
+            self.net.tracer.record(self.kernel.now, "crash", self.addr, self.addr, "-")
+        for process in list(self._procs):
+            process.interrupt("crash")
+        self._procs.clear()
+        self._pending_calls.clear()
+        self.on_crash()
+
+    def on_crash(self) -> None:
+        """Hook for subclasses to clear volatile state. Default: nothing."""
+
+    def revive(self) -> None:
+        """Bring a crashed node back up (same address, volatile state gone).
+
+        The inverse of :meth:`crash` at the fabric level only: subclasses
+        restart their own processes/sessions afterwards (a region server's
+        :meth:`restart`, for example).  Durable state -- like a datanode's
+        synced replicas -- was never lost.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.net.register(self, replace=True)
+        self.on_revive()
+
+    def on_revive(self) -> None:
+        """Hook for subclasses on revival. Default: nothing."""
+
+    # ------------------------------------------------------------------
+    # RPC client side
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        dst: str,
+        method: str,
+        timeout: Optional[float] = None,
+        size: int = 256,
+        **payload: Any,
+    ) -> Event:
+        """Send a request; the returned event fires with the reply value.
+
+        Failure modes: :class:`RpcTimeout` if ``timeout`` elapses first,
+        :class:`RemoteError` if the handler raised, :class:`NodeDown` if
+        this node is itself dead.
+        """
+        result = Event(self.kernel)
+        if not self.alive:
+            result.fail(NodeDown(f"{self.addr} is down"))
+            return result
+        req_id = next(_req_ids)
+        self._pending_calls[req_id] = result
+        self.net.send(
+            Message(
+                src=self.addr,
+                dst=dst,
+                kind="request",
+                req_id=req_id,
+                method=method,
+                payload=payload,
+                size=size,
+            )
+        )
+        if timeout is not None:
+            deadline = self.kernel.timeout(timeout)
+            deadline.callbacks.append(
+                lambda _ev: self._expire_call(req_id, dst, method, timeout)
+            )
+        return result
+
+    def cast(self, dst: str, method: str, size: int = 256, **payload: Any) -> None:
+        """Fire-and-forget request (no reply correlation)."""
+        if not self.alive:
+            return
+        self.net.send(
+            Message(
+                src=self.addr,
+                dst=dst,
+                kind="request",
+                req_id=0,
+                method=method,
+                payload=payload,
+                size=size,
+            )
+        )
+
+    def _expire_call(self, req_id: int, dst: str, method: str, timeout: float) -> None:
+        event = self._pending_calls.pop(req_id, None)
+        if event is not None and not event.triggered:
+            event.fail(RpcTimeout(dst, method, timeout))
+
+    # ------------------------------------------------------------------
+    # RPC server side
+    # ------------------------------------------------------------------
+    def _on_message(self, message: Message) -> None:
+        if not self.alive:
+            return
+        if message.kind == "response":
+            event = self._pending_calls.pop(message.req_id, None)
+            if event is None or event.triggered:
+                return  # late reply after timeout; drop
+            if message.ok:
+                event.succeed(message.payload.get("result"))
+            else:
+                event.fail(RemoteError(message.src, message.method, message.error or "?"))
+            return
+
+        handler = getattr(self, f"rpc_{message.method}", None)
+        if handler is None:
+            self._reply_error(message, f"no such method {message.method!r}")
+            return
+        try:
+            outcome = handler(message.src, **message.payload)
+        except Interrupt:
+            raise
+        except Exception as exc:
+            self._reply_error(message, repr(exc))
+            return
+        if hasattr(outcome, "send") and hasattr(outcome, "throw"):
+            self.spawn(self._run_handler(message, outcome), name=f"rpc:{message.method}")
+        else:
+            self._reply(message, outcome)
+
+    def _run_handler(self, message: Message, generator: ProcGen) -> ProcGen:
+        try:
+            result = yield from generator
+        except Interrupt:
+            return  # node crashed mid-handler: no reply, caller times out
+        except Exception as exc:
+            self._reply_error(message, repr(exc))
+            return
+        self._reply(message, result)
+
+    def _reply(self, message: Message, result: Any, size: int = 256) -> None:
+        if message.req_id == 0 or not self.alive:
+            return  # cast, or we died while computing
+        self.net.send(
+            Message(
+                src=self.addr,
+                dst=message.src,
+                kind="response",
+                req_id=message.req_id,
+                method=message.method,
+                payload={"result": result},
+                size=size,
+            )
+        )
+
+    def _reply_error(self, message: Message, description: str) -> None:
+        if message.req_id == 0 or not self.alive:
+            return
+        self.net.send(
+            Message(
+                src=self.addr,
+                dst=message.src,
+                kind="response",
+                req_id=message.req_id,
+                method=message.method,
+                payload={},
+                ok=False,
+                error=description,
+            )
+        )
+
+    def __repr__(self) -> str:
+        status = "up" if self.alive else "down"
+        return f"<{type(self).__name__} {self.addr} {status}>"

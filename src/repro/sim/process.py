@@ -1,0 +1,124 @@
+"""Generator-based processes for the discrete-event kernel.
+
+A process wraps a Python generator.  The generator yields :class:`Event`
+objects; the process suspends until the yielded event triggers, then resumes
+with the event's value (or has the event's exception thrown into it).  The
+process object is itself an event that triggers when the generator returns
+(success, with the generator's return value) or raises (failure).
+"""
+
+from __future__ import annotations
+
+import types
+import typing
+from typing import Any, Generator, Optional
+
+from repro.errors import ScheduleError
+from repro.sim.events import Event, Interrupt, URGENT
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Kernel
+
+ProcGen = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running generator, resumable on events, interruptible."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self, kernel: "Kernel", generator: ProcGen, name: Optional[str] = None
+    ) -> None:
+        if not isinstance(generator, types.GeneratorType):
+            raise ScheduleError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(kernel)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or generator.__name__
+        # Kick the generator off via an already-succeeded initialisation
+        # event so that the process body runs from the kernel loop, never
+        # synchronously inside the caller.
+        init = Event(kernel)
+        init.callbacks.append(self._resume)
+        init.succeed(None, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on, if any."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point.
+
+        Interrupting a finished process is a no-op, which makes shutdown
+        paths (e.g. crashing a node whose workers are mid-exit) simple.
+        """
+        if self.triggered:
+            return
+        # Detach from whatever the process was waiting on; the wait event may
+        # still trigger later, but it must not resume us twice.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        wakeup = Event(self.kernel)
+        wakeup.callbacks.append(self._resume)
+        wakeup.fail(Interrupt(cause), priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        if self.triggered:
+            # A stray wakeup after termination: an interrupt can land while
+            # the process had already advanced onto a new wait target whose
+            # event then fires too.  The interrupt consumed the process;
+            # drop the late resume.
+            if event is not None and not event.ok:
+                event.defuse()
+            return
+        self._target = None
+        while True:
+            try:
+                if event is None:
+                    nxt = self._generator.send(None)
+                elif event.ok:
+                    nxt = self._generator.send(event.value)
+                else:
+                    event.defuse()
+                    nxt = self._generator.throw(event.value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # generator died
+                self.fail(exc)
+                self.kernel._note_process_failure(self, exc)
+                return
+
+            if not isinstance(nxt, Event):
+                exc2 = ScheduleError(
+                    f"process {self.name!r} yielded non-event {nxt!r}"
+                )
+                self.fail(exc2)
+                self.kernel._note_process_failure(self, exc2)
+                return
+
+            if nxt.callbacks is None:
+                # Already processed: resume immediately with its outcome.
+                event = nxt
+                continue
+            nxt.callbacks.append(self._resume)
+            self._target = nxt
+            return
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else ("done" if self.ok else "failed")
+        return f"<Process {self.name} {state}>"

@@ -1,0 +1,144 @@
+"""Capacity resources and FIFO stores for simulated contention.
+
+:class:`Resource` models anything with bounded parallelism -- RPC worker
+pools, a disk head, a mutex (capacity 1).  Requests beyond capacity queue in
+FIFO order; this is what turns offered load into realistic saturation curves
+in the benchmarks.
+
+:class:`SimQueue` is an unbounded producer/consumer channel (SimPy's Store):
+``put`` never blocks, ``get`` returns an event that fires when an item is
+available.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.errors import ScheduleError
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Kernel
+
+
+class Resource:
+    """A pool of ``capacity`` interchangeable slots with a FIFO wait queue."""
+
+    def __init__(self, kernel: "Kernel", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ScheduleError(f"resource capacity must be >= 1, got {capacity}")
+        self.kernel = kernel
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that fires once a slot is granted to the caller.
+
+        The caller must eventually :meth:`release` the slot.  If the waiting
+        process is interrupted it must call :meth:`cancel` with the pending
+        event so the slot is not granted to a ghost.
+        """
+        event = Event(self.kernel)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Withdraw a pending request (or release if it was granted)."""
+        if event.triggered:
+            # The grant raced ahead of the interrupt; give the slot back.
+            if event.ok:
+                self.release()
+            return
+        try:
+            self._waiters.remove(event)
+        except ValueError:
+            pass
+
+    def release(self) -> None:
+        """Return a slot to the pool, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise ScheduleError("release() without a matching request()")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.triggered:  # cancelled but not yet removed
+                continue
+            waiter.succeed(self)
+            return
+        self._in_use -= 1
+
+    def use(self, duration: float):
+        """Generator helper: hold one slot for ``duration`` simulated seconds.
+
+        Usage inside a process: ``yield from resource.use(0.001)``.
+        Interrupt-safe: the slot (or pending request) is released on the way
+        out even if the process is interrupted mid-wait.
+        """
+        grant = self.request()
+        try:
+            yield grant
+        except BaseException:
+            self.cancel(grant)
+            raise
+        try:
+            if duration > 0:
+                yield self.kernel.timeout(duration)
+        finally:
+            self.release()
+
+
+class SimQueue:
+    """Unbounded FIFO channel between simulated processes."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Append ``item``; wakes the oldest waiting getter if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:  # cancelled getter
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item (immediately if available)."""
+        event = Event(self.kernel)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def drain(self) -> List[Any]:
+        """Remove and return all currently-queued items without waiting."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def peek_all(self) -> List[Any]:
+        """A snapshot of queued items, oldest first (not removed)."""
+        return list(self._items)

@@ -1,0 +1,40 @@
+"""Transaction management substrate.
+
+A middleware transaction manager in the paper's mould: timestamp oracle,
+snapshot-isolation certification, a group-committed recovery log that owns
+durability, and a transactional client implementing the deferred-update
+model (buffer at the client, flush to the store only after commit).
+"""
+
+from repro.txn.client import STORE_SYNC, TM_LOG, TxnClient
+from repro.txn.concurrency import SICertifier
+from repro.txn.context import (
+    ABORTED,
+    COMMITTED,
+    EXECUTING,
+    FLUSHED,
+    PERSISTED,
+    TxnContext,
+)
+from repro.txn.log import LogRecord, RecoveryLog
+from repro.txn.manager import TransactionManager
+from repro.txn.timestamps import TimestampOracle
+from repro.txn.writeset import WriteSet
+
+__all__ = [
+    "ABORTED",
+    "COMMITTED",
+    "EXECUTING",
+    "FLUSHED",
+    "PERSISTED",
+    "LogRecord",
+    "RecoveryLog",
+    "SICertifier",
+    "STORE_SYNC",
+    "TM_LOG",
+    "TimestampOracle",
+    "TransactionManager",
+    "TxnClient",
+    "TxnContext",
+    "WriteSet",
+]

@@ -1,0 +1,220 @@
+"""The transactional client: the paper's extended HBase client.
+
+Adds ``begin`` / ``commit`` / ``abort`` on top of the key-value client,
+buffers write-sets locally (deferred update), and flushes them to the
+region servers **after** commit.  A recovery tracker
+(:class:`repro.core.client_agent.ClientRecoveryAgent`) can be attached; the
+client then reports commit timestamps and flush completions to it --
+Algorithm 1's "On receiving commit timestamp" and "On post-flush" hooks.
+
+Durability modes:
+
+* ``"tm_log"`` (the paper's): commit returns once the TM's recovery log is
+  durable; the write-set flush runs asynchronously afterwards.
+* ``"store_sync"`` (the fig2a baseline): no TM logging; commit returns only
+  after the write-set is flushed to region servers running synchronous WAL
+  persistence -- durability comes from the store.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from repro.errors import TxnConflict
+from repro.kvstore.client import KvClient
+from repro.sim.events import Interrupt
+from repro.sim.node import Node
+from repro.txn.context import ABORTED, COMMITTED, FLUSHED, TxnContext
+
+TM_LOG = "tm_log"
+STORE_SYNC = "store_sync"
+
+
+class TxnClient:
+    """Transactional access to the store from one client process."""
+
+    def __init__(
+        self,
+        host: Node,
+        kv: KvClient,
+        tm_addr: str = "tm",
+        client_id: Optional[str] = None,
+        durability: str = TM_LOG,
+        tracker: Optional[Any] = None,
+    ) -> None:
+        if durability not in (TM_LOG, STORE_SYNC):
+            raise ValueError(f"unknown durability mode {durability!r}")
+        self.host = host
+        self.kv = kv
+        self.tm_addr = tm_addr
+        self.client_id = client_id or host.addr
+        self.durability = durability
+        #: Recovery-tracking hook (Algorithm 1); None disables tracking.
+        self.tracker = tracker
+        self._local_ids = itertools.count(1)
+        self.stats = {"begun": 0, "committed": 0, "aborted": 0, "flushed": 0}
+
+    # ------------------------------------------------------------------
+    # transaction lifecycle (generator API)
+    # ------------------------------------------------------------------
+    def begin(self):
+        """Start a transaction; returns its :class:`TxnContext`."""
+        reply = yield self.host.call(
+            self.tm_addr, "begin", timeout=10.0, client_id=self.client_id
+        )
+        self.stats["begun"] += 1
+        return TxnContext(
+            txn_id=reply["txn_id"],
+            start_ts=reply["start_ts"],
+            client_id=self.client_id,
+        )
+
+    def read(self, ctx: TxnContext, table: str, row: str, column: str = "f"):
+        """Snapshot read at the transaction's start timestamp.
+
+        Returns the value or None.  Reads the transaction's own buffered
+        write first (read-your-own-writes).
+        """
+        ctx.require_active()
+        if (table, row, column) in ctx.write_set:
+            return ctx.write_set.get(table, row, column)
+        result = yield from self.kv.get(table, row, column, max_version=ctx.start_ts)
+        if result is None:
+            return None
+        return result[1]
+
+    def scan(
+        self,
+        ctx: TxnContext,
+        table: str,
+        start_row: str,
+        end_row: Optional[str] = None,
+        limit: int = 1000,
+    ):
+        """Filtered range scan at the transaction's snapshot.
+
+        Returns ``[(row, value)]``, rows ascending.  Buffered writes of
+        this transaction overlay the scan (read-your-own-writes), and its
+        buffered deletes hide rows.
+        """
+        ctx.require_active()
+        cells = yield from self.kv.scan(
+            table, start_row, end_row, max_version=ctx.start_ts, limit=limit
+        )
+        merged = {row: value for row, _col, _version, value in cells}
+        for (t, row, _column), value in ctx.write_set.writes.items():
+            if t != table or row < start_row:
+                continue
+            if end_row is not None and row >= end_row:
+                continue
+            if value is None:
+                merged.pop(row, None)
+            else:
+                merged[row] = value
+        return sorted(merged.items())[:limit]
+
+    def write(self, ctx: TxnContext, table: str, row: str, value: Any, column: str = "f") -> None:
+        """Buffer an insert/update (nothing reaches the store until commit)."""
+        ctx.require_active()
+        ctx.write_set.put(table, row, column, value)
+
+    def delete(self, ctx: TxnContext, table: str, row: str, column: str = "f") -> None:
+        """Buffer a delete."""
+        ctx.require_active()
+        ctx.write_set.delete(table, row, column)
+
+    def abort(self, ctx: TxnContext):
+        """Abort: discard the buffered write-set."""
+        ctx.require_active()
+        ctx.transition(ABORTED)
+        ctx.abort_reason = "application abort"
+        self.stats["aborted"] += 1
+        yield self.host.call(
+            self.tm_addr, "abort", timeout=10.0,
+            client_id=self.client_id, txn_id=ctx.txn_id,
+        )
+        return ctx
+
+    def commit(self, ctx: TxnContext, wait_flush: bool = False):
+        """Commit the transaction.  (Generator API.)
+
+        In ``tm_log`` mode this returns as soon as the TM has the write-set
+        durable in its recovery log -- the paper's commit point -- and the
+        flush to the region servers continues in the background (pass
+        ``wait_flush=True`` to block until the flushed state instead).  In
+        ``store_sync`` mode it returns only after the synchronous flush.
+
+        Raises :class:`TxnConflict` if certification fails.
+        """
+        ctx.require_active()
+        writes = [
+            (table, row, column, value)
+            for (table, row, column), value in sorted(ctx.write_set.writes.items())
+        ]
+        reply = yield self.host.call(
+            self.tm_addr,
+            "commit",
+            timeout=30.0,
+            size=max(96 * len(writes), 96),
+            client_id=self.client_id,
+            txn_id=ctx.txn_id,
+            start_ts=ctx.start_ts,
+            writes=writes,
+            log_commit=(self.durability == TM_LOG),
+        )
+        if reply["status"] == "aborted":
+            ctx.transition(ABORTED)
+            ctx.abort_reason = f"conflict on {reply.get('conflict_key')}"
+            self.stats["aborted"] += 1
+            raise TxnConflict(ctx.txn_id, tuple(reply.get("conflict_key") or ()))
+
+        ctx.commit_ts = reply["commit_ts"]
+        if reply.get("read_only"):
+            ctx.transition(COMMITTED)
+            self.stats["committed"] += 1
+            return ctx
+
+        if self.durability == STORE_SYNC:
+            # Baseline: durability comes from the store, so the flush is
+            # part of the commit path.
+            yield from self._flush(ctx)
+            ctx.transition(COMMITTED)
+            ctx.transition(FLUSHED)
+            self.host.cast(self.tm_addr, "flushed", commit_ts=ctx.commit_ts)
+            self.stats["committed"] += 1
+            return ctx
+
+        # Paper mode: committed now; flush afterwards.
+        if self.tracker is not None:
+            yield from self.tracker.note_commit(ctx.commit_ts)
+        ctx.transition(COMMITTED)
+        self.stats["committed"] += 1
+        flush_proc = self.host.spawn(
+            self._flush_after_commit(ctx), name=f"flush:{ctx.commit_ts}"
+        )
+        flush_proc.defuse()
+        if wait_flush:
+            yield flush_proc
+        return ctx
+
+    # ------------------------------------------------------------------
+    # flush path
+    # ------------------------------------------------------------------
+    def _flush_after_commit(self, ctx: TxnContext):
+        try:
+            yield from self._flush(ctx)
+        except Interrupt:
+            raise  # client crashed mid-flush: the recovery manager's case
+        ctx.transition(FLUSHED)
+        self.stats["flushed"] += 1
+        # Report flush completion to the TM (drives the flushed-prefix
+        # snapshot in "flushed" visibility mode; a no-op otherwise).
+        self.host.cast(self.tm_addr, "flushed", commit_ts=ctx.commit_ts)
+        if self.tracker is not None:
+            yield from self.tracker.note_flushed(ctx.commit_ts)
+
+    def _flush(self, ctx: TxnContext):
+        for table in ctx.write_set.tables():
+            cells = ctx.write_set.stamped_cells(table, ctx.commit_ts)
+            yield from self.kv.flush_write_set(table, ctx.commit_ts, cells)

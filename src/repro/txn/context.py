@@ -1,0 +1,72 @@
+"""Client-side transaction context and lifecycle states.
+
+The states mirror the paper's Section 2.2 exactly:
+
+* ``executing`` -- started, not yet committed or aborted;
+* ``aborted`` -- discarded (write-set never logged nor flushed);
+* ``committed`` -- the TM persisted the write-set to its recovery log;
+* ``flushed`` -- every participating region server has applied it;
+* ``persisted`` -- every participant has it on stable storage (at least the
+  store's WAL is durable in the DFS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import InvalidTxnState
+from repro.txn.writeset import WriteSet
+
+EXECUTING = "executing"
+ABORTED = "aborted"
+COMMITTED = "committed"
+FLUSHED = "flushed"
+PERSISTED = "persisted"
+
+_TRANSITIONS = {
+    EXECUTING: {ABORTED, COMMITTED},
+    COMMITTED: {FLUSHED},
+    FLUSHED: {PERSISTED},
+    ABORTED: set(),
+    PERSISTED: set(),
+}
+
+
+@dataclass
+class TxnContext:
+    """One transaction as seen by the client."""
+
+    txn_id: int
+    start_ts: int
+    client_id: str
+    write_set: WriteSet = field(default_factory=WriteSet)
+    state: str = EXECUTING
+    commit_ts: Optional[int] = None
+    abort_reason: Optional[str] = None
+
+    @property
+    def read_only(self) -> bool:
+        """Whether the transaction buffered no writes."""
+        return self.write_set.empty
+
+    @property
+    def active(self) -> bool:
+        """Whether the transaction is still executing."""
+        return self.state == EXECUTING
+
+    def require_active(self) -> None:
+        """Guard for read/write/commit/abort calls."""
+        if self.state != EXECUTING:
+            raise InvalidTxnState(
+                f"txn {self.txn_id} is {self.state}, not {EXECUTING}"
+            )
+
+    def transition(self, new_state: str) -> None:
+        """Move to ``new_state``, enforcing the legal lifecycle."""
+        allowed = _TRANSITIONS.get(self.state)
+        if allowed is None or new_state not in allowed:
+            raise InvalidTxnState(
+                f"txn {self.txn_id}: illegal transition {self.state} -> {new_state}"
+            )
+        self.state = new_state

@@ -1,0 +1,181 @@
+"""The independent transaction manager.
+
+Owns the timestamp oracle, snapshot-isolation certification, and the
+recovery log.  Under the paper's durability model a transaction is
+*committed* the moment its write-set (with commit timestamp and client id)
+is durable in this log -- nothing needs to have reached the key-value store
+yet.
+
+The ``log_commit=False`` path supports the fig2a baseline, where durability
+comes from the store's synchronous WAL instead and the TM only certifies
+and stamps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import TxnSettings
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.resource import Resource
+from repro.txn.concurrency import SICertifier
+from repro.txn.log import LogRecord, RecoveryLog
+from repro.txn.timestamps import TimestampOracle
+
+#: A client-submitted write on the wire: (table, row, column, value).
+WireWrite = Tuple[str, str, str, object]
+
+
+class TransactionManager(Node):
+    """Transaction manager node (co-hostable with the recovery manager by
+    sharing a CPU resource, as in the paper's evaluation setup)."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        net: Network,
+        addr: str = "tm",
+        settings: Optional[TxnSettings] = None,
+        shared_cpu: Optional[Resource] = None,
+        logger_shards: Optional[List[str]] = None,
+    ) -> None:
+        super().__init__(kernel, net, addr)
+        self.settings = settings or TxnSettings()
+        self.oracle = TimestampOracle()
+        self.certifier = SICertifier(horizon=self.settings.certification_horizon)
+        if logger_shards:
+            from repro.txn.loggers import DistributedRecoveryLog
+
+            self.log = DistributedRecoveryLog(self, logger_shards, self.settings)
+        else:
+            self.log = RecoveryLog(self, self.settings)
+        self.cpu = shared_cpu or Resource(kernel, capacity=self.settings.rpc_workers)
+        self._txn_ids = itertools.count(1)
+        self.stats = {"begins": 0, "commits": 0, "aborts": 0, "read_only": 0}
+        # Flushed-prefix visibility tracking ("flushed" snapshot mode): a
+        # global analogue of the client-side FQ/FQ' queues.
+        self._visible_ts = 0
+        self._unflushed: List[int] = []  # committed update txns, min-heap
+        self._flushed_set: set = set()
+
+    # ------------------------------------------------------------------
+    # transaction lifecycle
+    # ------------------------------------------------------------------
+    def rpc_begin(self, sender: str, client_id: str):
+        """Open a transaction: allocate an id and a snapshot timestamp.
+
+        The snapshot is the newest commit timestamp, or -- in "flushed"
+        visibility mode -- the newest timestamp whose write-set (and all
+        earlier ones) is fully in the store, so reads cannot slip past an
+        in-flight deferred flush.
+        """
+        yield from self.cpu.use(self.settings.op_service_time)
+        self.stats["begins"] += 1
+        if self.settings.snapshot_visibility == "flushed":
+            start_ts = self._visible_ts
+        else:
+            start_ts = self.oracle.current()
+        return {"txn_id": next(self._txn_ids), "start_ts": start_ts}
+
+    def rpc_commit(
+        self,
+        sender: str,
+        client_id: str,
+        txn_id: int,
+        start_ts: int,
+        writes: List[WireWrite],
+        log_commit: bool = True,
+    ):
+        """Certify and commit a transaction.
+
+        Returns ``{"status": "committed", "commit_ts": ts}`` or
+        ``{"status": "aborted", "conflict_key": key}``.  With
+        ``log_commit`` the reply is sent only after the write-set is
+        durable in the recovery log (group commit).
+        """
+        yield from self.cpu.use(self.settings.op_service_time)
+        if not writes:
+            self.stats["read_only"] += 1
+            return {"status": "committed", "commit_ts": start_ts, "read_only": True}
+
+        keys = [(table, row, column) for table, row, column, _value in writes]
+        conflict = self.certifier.certify(start_ts, keys)
+        if conflict is not None:
+            self.stats["aborts"] += 1
+            return {"status": "aborted", "conflict_key": list(conflict)}
+
+        commit_ts = self.oracle.next()
+        self.certifier.record(commit_ts, keys)
+        self.stats["commits"] += 1
+        if self.settings.snapshot_visibility == "flushed":
+            heapq.heappush(self._unflushed, commit_ts)
+
+        if log_commit:
+            cells_by_table: Dict[str, List] = {}
+            for table, row, column, value in writes:
+                cells_by_table.setdefault(table, []).append(
+                    (row, column, commit_ts, value)
+                )
+            record = LogRecord(
+                commit_ts=commit_ts,
+                client_id=client_id,
+                cells_by_table=cells_by_table,
+                nbytes=max(96 * len(writes), 96),
+            )
+            yield self.log.append(record)
+        return {"status": "committed", "commit_ts": commit_ts}
+
+    def rpc_flushed(self, sender: str, commit_ts: int) -> None:
+        """Flush-completion report (cast by clients and the recovery
+        client).  Advances the flushed-prefix snapshot in "flushed"
+        visibility mode; ignored otherwise."""
+        if self.settings.snapshot_visibility != "flushed":
+            return
+        self._flushed_set.add(commit_ts)
+        while self._unflushed and self._unflushed[0] in self._flushed_set:
+            self._visible_ts = heapq.heappop(self._unflushed)
+            self._flushed_set.discard(self._visible_ts)
+
+    def rpc_abort(self, sender: str, client_id: str, txn_id: int) -> bool:
+        """Abort notification.  The write-set was buffered client-side and
+        is simply discarded there; the TM only counts it."""
+        self.stats["aborts"] += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # recovery-manager interface
+    # ------------------------------------------------------------------
+    def rpc_fetch_logs(
+        self, sender: str, after_ts: int, client_id: Optional[str] = None
+    ):
+        """The ``fetchlogs`` call of Algorithms 2 and 4."""
+        records = yield from self.log.fetch_gen(after_ts, client_id=client_id)
+        return [r.to_wire() for r in records]
+
+    def rpc_truncate_log(self, sender: str, up_to_ts: int):
+        """Discard log records below the global persisted threshold."""
+        dropped = yield from self.log.truncate_gen(up_to_ts)
+        return dropped
+
+    def rpc_latest_ts(self, sender: str) -> int:
+        """The newest allocated timestamp."""
+        return self.oracle.current()
+
+    def rpc_tm_stats(self, sender: str):
+        """Counters for tests and benchmarks."""
+        log_stats = yield from self.log.stats_gen()
+        out = {
+            **self.stats,
+            "log_length": log_stats["length"],
+            "log_syncs": log_stats["syncs"],
+            "log_appended": log_stats["appended"],
+        }
+        local = getattr(self.log, "truncated_below", None)
+        if local is not None:
+            out["log_truncated_below"] = local
+            out["log_mean_group"] = self.log.stats.mean_group_size
+        return out

@@ -1,0 +1,25 @@
+"""The timestamp oracle.
+
+The paper assumes commit timestamps are monotonically increasing and that
+commit-timestamp order is the serialization order -- replaying write-sets in
+commit-timestamp order produces a correct execution.  A single counter at
+the transaction manager provides exactly that.
+"""
+
+from __future__ import annotations
+
+
+class TimestampOracle:
+    """Monotonic timestamp source for start and commit timestamps."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._current = start
+
+    def next(self) -> int:
+        """Allocate the next (strictly larger) timestamp."""
+        self._current += 1
+        return self._current
+
+    def current(self) -> int:
+        """The most recently allocated timestamp (the snapshot horizon)."""
+        return self._current

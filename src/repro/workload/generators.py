@@ -1,0 +1,85 @@
+"""Key and operation generators (the YCSB-style workload core).
+
+The paper extends YCSB with "a simple type of update transaction that
+executes 10 random row operations, with a 50/50 ratio of reads/updates" on
+a table of half a million rows.  Key choice is uniform by default (YCSB's
+zipfian generator is also provided for skewed variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.config import WorkloadSettings
+from repro.kvstore.keys import row_key
+from repro.sim.rng import SeededRng, zipfian_sampler
+
+READ = "read"
+UPDATE = "update"
+
+#: One operation: (kind, row key).
+Op = Tuple[str, str]
+
+
+def make_key_chooser(settings: WorkloadSettings, rng: SeededRng) -> Callable[[], str]:
+    """A callable returning random row keys per the configured distribution."""
+    if settings.distribution == "uniform":
+        return lambda: row_key(rng.randrange(settings.n_rows))
+    if settings.distribution == "zipfian":
+        sample = zipfian_sampler(settings.n_rows, settings.zipf_theta, rng)
+        # YCSB scrambles the zipfian rank so hot keys spread over the key
+        # space (and hence over regions); a multiplicative hash suffices.
+        n = settings.n_rows
+        return lambda: row_key((sample() * 2654435761) % n)
+    raise ValueError(f"unknown distribution {settings.distribution!r}")
+
+
+@dataclass
+class TxnTemplate:
+    """The operations of one generated transaction."""
+
+    ops: List[Op]
+
+    @property
+    def n_reads(self) -> int:
+        """Read operations in this transaction."""
+        return sum(1 for kind, _row in self.ops if kind == READ)
+
+    @property
+    def n_updates(self) -> int:
+        """Update operations in this transaction."""
+        return sum(1 for kind, _row in self.ops if kind == UPDATE)
+
+    @property
+    def read_only(self) -> bool:
+        """Whether the transaction performs no updates."""
+        return self.n_updates == 0
+
+
+class TransactionGenerator:
+    """Generates the paper's update transactions (and read-only variants)."""
+
+    def __init__(self, settings: WorkloadSettings, rng: SeededRng) -> None:
+        self.settings = settings
+        self.rng = rng
+        self.choose_key = make_key_chooser(settings, rng)
+
+    def next_txn(self) -> TxnTemplate:
+        """One transaction: ops_per_txn random row operations with the
+        configured read fraction; distinct rows within a transaction."""
+        ops: List[Op] = []
+        seen = set()
+        while len(ops) < self.settings.ops_per_txn:
+            row = self.choose_key()
+            if row in seen:
+                continue  # YCSB reads/updates distinct rows per txn
+            seen.add(row)
+            kind = READ if self.rng.random() < self.settings.read_fraction else UPDATE
+            ops.append((kind, row))
+        return TxnTemplate(ops=ops)
+
+    def value_for(self, row: str, txn_counter: int) -> str:
+        """A compact value token (full value bytes are accounted for by the
+        size models, not materialised)."""
+        return f"w{txn_counter}"

@@ -1,0 +1,29 @@
+"""ZooKeeper-like coordination substrate.
+
+Provides exactly the coordination facilities the paper's system takes from
+ZooKeeper: ephemeral-session liveness, a versioned znode tree, one-shot
+watches, and a reliable place for the recovery manager's threshold state.
+"""
+
+from repro.zk.client import ZkClient, ZkWatcherMixin
+from repro.zk.service import (
+    EVENT_CHANGED,
+    EVENT_CHILD,
+    EVENT_CREATED,
+    EVENT_DELETED,
+    ZkService,
+)
+from repro.zk.znode import Znode, is_direct_child, parent_path
+
+__all__ = [
+    "EVENT_CHANGED",
+    "EVENT_CHILD",
+    "EVENT_CREATED",
+    "EVENT_DELETED",
+    "ZkClient",
+    "ZkService",
+    "ZkWatcherMixin",
+    "Znode",
+    "is_direct_child",
+    "parent_path",
+]

@@ -1,0 +1,178 @@
+"""Coordination client embedded in a host node.
+
+Manages the host's session (background ping loop), exposes the tree
+operations as generator calls, and routes one-shot watch notifications to
+registered callbacks.  The host node must mix :class:`ZkWatcherMixin` into
+its class (or otherwise define ``rpc_watch_event``) to receive watches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import SessionExpired, ZkError
+from repro.sim.events import Interrupt
+from repro.sim.node import Node
+
+
+class ZkWatcherMixin:
+    """Routes ``watch_event`` notifications to a ZkClient on the host."""
+
+    _zk_client: Optional["ZkClient"] = None
+
+    def rpc_watch_event(self, sender: str, path: str, event: str) -> None:
+        """Watch notification from the service; fan out to callbacks."""
+        if self._zk_client is not None:
+            self._zk_client._dispatch_watch(path, event)
+
+
+class ZkClient:
+    """Access to the coordination service from a host node."""
+
+    def __init__(
+        self,
+        host: Node,
+        zk_addr: str = "zk",
+        ping_interval: float = 0.5,
+        op_timeout: float = 2.0,
+    ) -> None:
+        self.host = host
+        self.zk_addr = zk_addr
+        self.ping_interval = ping_interval
+        #: Deadline on every coordination call; a partitioned host must see
+        #: failures, not hangs (the paper treats partitions as crashes).
+        self.op_timeout = op_timeout
+        self.session_id: Optional[int] = None
+        self._watch_callbacks: Dict[str, List[Callable[[str, str], None]]] = {}
+        if isinstance(host, ZkWatcherMixin):
+            host._zk_client = self
+
+    # ------------------------------------------------------------------
+    # session
+    # ------------------------------------------------------------------
+    def start_session(self):
+        """Open a session and start the keep-alive loop.  (Generator API.)"""
+        self.session_id = yield self.host.call(
+            self.zk_addr, "create_session", timeout=self.op_timeout
+        )
+        self.host.spawn(self._ping_loop(), name="zk-ping")
+        return self.session_id
+
+    def close_session(self):
+        """Cleanly close the session (removes our ephemerals immediately)."""
+        if self.session_id is None:
+            return False
+        result = yield self.host.call(
+            self.zk_addr, "close_session", timeout=self.op_timeout,
+            session_id=self.session_id,
+        )
+        self.session_id = None
+        return result
+
+    def _ping_loop(self):
+        try:
+            while self.session_id is not None:
+                yield self.host.sleep(self.ping_interval)
+                if self.session_id is None:
+                    return
+                try:
+                    yield self.host.call(
+                        self.zk_addr,
+                        "ping",
+                        timeout=self.ping_interval * 4,
+                        session_id=self.session_id,
+                    )
+                except ZkError:
+                    self.session_id = None
+                    return
+                except Exception:
+                    # Transient unreachability: keep trying; the service will
+                    # expire us if we stay dark past the session timeout.
+                    continue
+        except Interrupt:
+            return
+
+    # ------------------------------------------------------------------
+    # tree operations (generator API)
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        path: str,
+        data: Any = None,
+        ephemeral: bool = False,
+        sequential: bool = False,
+    ):
+        """Create a znode; ephemeral creation requires a live session."""
+        if ephemeral and self.session_id is None:
+            raise SessionExpired("no session for ephemeral create")
+        result = yield self.host.call(
+            self.zk_addr,
+            "create",
+            timeout=self.op_timeout,
+            path=path,
+            data=data,
+            ephemeral=ephemeral,
+            session_id=self.session_id,
+            sequential=sequential,
+        )
+        return result
+
+    def set_data(self, path: str, data: Any, version: int = -1):
+        """Write znode data; returns the new version."""
+        result = yield self.host.call(
+            self.zk_addr, "set", timeout=self.op_timeout,
+            path=path, data=data, version=version,
+        )
+        return result
+
+    def get(self, path: str, watch: bool = False):
+        """Read a znode snapshot dict."""
+        result = yield self.host.call(
+            self.zk_addr, "get", timeout=self.op_timeout, path=path, watch=watch
+        )
+        return result
+
+    def exists(self, path: str, watch: bool = False):
+        """Existence check."""
+        result = yield self.host.call(
+            self.zk_addr, "exists", timeout=self.op_timeout, path=path,
+            watch=watch,
+        )
+        return result
+
+    def delete(self, path: str):
+        """Delete a znode (idempotent)."""
+        result = yield self.host.call(
+            self.zk_addr, "delete", timeout=self.op_timeout, path=path
+        )
+        return result
+
+    def get_children(self, path: str, watch: bool = False):
+        """Direct children of ``path``."""
+        result = yield self.host.call(
+            self.zk_addr, "get_children", timeout=self.op_timeout,
+            path=path, watch=watch,
+        )
+        return result
+
+    def multi_get(self, paths: List[str]):
+        """Batched znode reads."""
+        result = yield self.host.call(
+            self.zk_addr, "multi_get", timeout=self.op_timeout, paths=paths
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # watches
+    # ------------------------------------------------------------------
+    def on_watch(self, path: str, callback: Callable[[str, str], None]) -> None:
+        """Register a callback for watch events on ``path``.
+
+        Watches at the service are one-shot; the callback should re-arm by
+        issuing another watched read if it wants continued notifications.
+        """
+        self._watch_callbacks.setdefault(path, []).append(callback)
+
+    def _dispatch_watch(self, path: str, event: str) -> None:
+        for callback in self._watch_callbacks.get(path, []):
+            callback(path, event)

@@ -1,0 +1,189 @@
+"""The coordination server (ZooKeeper stand-in).
+
+Provides what the paper's system uses ZooKeeper for: a reliable tree of
+znodes with versions, ephemeral nodes tied to pinged sessions (liveness
+detection for region servers and clients), one-shot watches delivered as
+notifications, and durable storage for the recovery manager's threshold
+state so a restarted recovery manager can catch up (Section 3.3).
+
+The service itself is assumed reliable, as the paper assumes of ZooKeeper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Set
+
+from repro.config import ZkSettings
+from repro.errors import BadVersion, NoNode, NodeExists, SessionExpired
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.zk.znode import Session, Znode, is_direct_child, parent_path
+
+#: Watch event types.
+EVENT_CREATED = "created"
+EVENT_CHANGED = "changed"
+EVENT_DELETED = "deleted"
+EVENT_CHILD = "child"
+
+
+class ZkService(Node):
+    """Coordination service node."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        net: Network,
+        addr: str = "zk",
+        settings: Optional[ZkSettings] = None,
+    ) -> None:
+        super().__init__(kernel, net, addr)
+        self.settings = settings or ZkSettings()
+        self._nodes: Dict[str, Znode] = {}
+        self._sessions: Dict[int, Session] = {}
+        self._session_ids = itertools.count(1)
+        self._seq_counters: Dict[str, itertools.count] = {}
+        #: path -> set of subscriber addresses (one-shot data watches)
+        self._data_watches: Dict[str, Set[str]] = {}
+        #: parent path -> set of subscriber addresses (one-shot child watches)
+        self._child_watches: Dict[str, Set[str]] = {}
+        self.spawn(self._expiry_loop(), name="zk-expiry")
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    def rpc_create_session(self, sender: str) -> int:
+        """Open a session owned by ``sender``; must be pinged to stay alive."""
+        session_id = next(self._session_ids)
+        self._sessions[session_id] = Session(
+            session_id=session_id, owner=sender, last_ping=self.kernel.now
+        )
+        return session_id
+
+    def rpc_ping(self, sender: str, session_id: int) -> bool:
+        """Session keep-alive."""
+        session = self._sessions.get(session_id)
+        if session is None or session.expired:
+            raise SessionExpired(f"session {session_id}")
+        session.last_ping = self.kernel.now
+        return True
+
+    def rpc_close_session(self, sender: str, session_id: int) -> bool:
+        """Clean session shutdown: ephemerals removed, no expiry alarm."""
+        session = self._sessions.get(session_id)
+        if session is not None and not session.expired:
+            self._expire(session)
+        return True
+
+    def _expiry_loop(self):
+        while True:
+            yield self.sleep(self.settings.tick_interval)
+            deadline = self.kernel.now - self.settings.session_timeout
+            for session in list(self._sessions.values()):
+                if not session.expired and session.last_ping < deadline:
+                    self._expire(session)
+
+    def _expire(self, session: Session) -> None:
+        session.expired = True
+        for path in sorted(session.ephemerals):
+            self._delete(path)
+        self._sessions.pop(session.session_id, None)
+
+    # ------------------------------------------------------------------
+    # tree operations
+    # ------------------------------------------------------------------
+    def rpc_create(
+        self,
+        sender: str,
+        path: str,
+        data: Any = None,
+        ephemeral: bool = False,
+        session_id: Optional[int] = None,
+        sequential: bool = False,
+    ) -> str:
+        """Create a znode; returns the (possibly sequence-suffixed) path."""
+        if sequential:
+            seq = self._seq_counters.setdefault(path, itertools.count())
+            path = f"{path}{next(seq):010d}"
+        if path in self._nodes:
+            raise NodeExists(path)
+        owner_session: Optional[int] = None
+        if ephemeral:
+            session = self._sessions.get(session_id or -1)
+            if session is None or session.expired:
+                raise SessionExpired(f"session {session_id}")
+            session.ephemerals.add(path)
+            owner_session = session.session_id
+        self._nodes[path] = Znode(path=path, data=data, ephemeral_session=owner_session)
+        self._fire_data_watch(path, EVENT_CREATED)
+        self._fire_child_watch(parent_path(path))
+        return path
+
+    def rpc_set(self, sender: str, path: str, data: Any, version: int = -1) -> int:
+        """Update a znode's data; ``version`` of -1 skips the CAS check."""
+        node = self._nodes.get(path)
+        if node is None:
+            raise NoNode(path)
+        if version >= 0 and version != node.version:
+            raise BadVersion(f"{path}: expected {version}, at {node.version}")
+        node.data = data
+        node.version += 1
+        self._fire_data_watch(path, EVENT_CHANGED)
+        return node.version
+
+    def rpc_get(self, sender: str, path: str, watch: bool = False) -> dict:
+        """Read a znode (optionally arming a one-shot data watch)."""
+        node = self._nodes.get(path)
+        if node is None:
+            raise NoNode(path)
+        if watch:
+            self._data_watches.setdefault(path, set()).add(sender)
+        return node.to_wire()
+
+    def rpc_exists(self, sender: str, path: str, watch: bool = False) -> bool:
+        """Existence check; with ``watch`` fires on creation/deletion."""
+        if watch:
+            self._data_watches.setdefault(path, set()).add(sender)
+        return path in self._nodes
+
+    def rpc_delete(self, sender: str, path: str) -> bool:
+        """Delete a znode (idempotent)."""
+        self._delete(path)
+        return True
+
+    def rpc_get_children(self, sender: str, path: str, watch: bool = False) -> List[str]:
+        """Direct children of ``path`` (sorted full paths)."""
+        if watch:
+            self._child_watches.setdefault(path, set()).add(sender)
+        return sorted(p for p in self._nodes if is_direct_child(path, p))
+
+    def rpc_multi_get(self, sender: str, paths: List[str]) -> List[Optional[dict]]:
+        """Batched reads: one wire snapshot (or None) per requested path."""
+        out: List[Optional[dict]] = []
+        for path in paths:
+            node = self._nodes.get(path)
+            out.append(node.to_wire() if node is not None else None)
+        return out
+
+    def _delete(self, path: str) -> None:
+        node = self._nodes.pop(path, None)
+        if node is None:
+            return
+        if node.ephemeral_session is not None:
+            session = self._sessions.get(node.ephemeral_session)
+            if session is not None:
+                session.ephemerals.discard(path)
+        self._fire_data_watch(path, EVENT_DELETED)
+        self._fire_child_watch(parent_path(path))
+
+    # ------------------------------------------------------------------
+    # watches
+    # ------------------------------------------------------------------
+    def _fire_data_watch(self, path: str, event: str) -> None:
+        for subscriber in self._data_watches.pop(path, set()):
+            self.cast(subscriber, "watch_event", path=path, event=event)
+
+    def _fire_child_watch(self, parent: str) -> None:
+        for subscriber in self._child_watches.pop(parent, set()):
+            self.cast(subscriber, "watch_event", path=parent, event=EVENT_CHILD)

@@ -1,0 +1,51 @@
+"""Znode data structures for the coordination service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class Znode:
+    """One node in the coordination tree."""
+
+    path: str
+    data: Any = None
+    version: int = 0
+    #: Session that owns this node if it is ephemeral; None for persistent.
+    ephemeral_session: Optional[int] = None
+
+    def to_wire(self) -> dict:
+        """Serialisable snapshot for RPC replies."""
+        return {
+            "path": self.path,
+            "data": self.data,
+            "version": self.version,
+            "ephemeral": self.ephemeral_session is not None,
+        }
+
+
+@dataclass
+class Session:
+    """A client session; ephemerals die with it."""
+
+    session_id: int
+    owner: str
+    last_ping: float
+    ephemerals: set = field(default_factory=set)
+    expired: bool = False
+
+
+def parent_path(path: str) -> str:
+    """The parent of a znode path ('/' for top-level nodes)."""
+    idx = path.rstrip("/").rfind("/")
+    return path[:idx] if idx > 0 else "/"
+
+
+def is_direct_child(parent: str, candidate: str) -> bool:
+    """Whether ``candidate`` is exactly one level below ``parent``."""
+    prefix = parent.rstrip("/") + "/"
+    if not candidate.startswith(prefix):
+        return False
+    return "/" not in candidate[len(prefix) :]

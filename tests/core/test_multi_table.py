@@ -1,0 +1,101 @@
+"""Multi-table transactions and cross-table recovery."""
+
+import pytest
+
+from repro import ClusterConfig, SimCluster, TABLE
+from repro.kvstore.keys import row_key
+
+ORDERS = "orders"
+
+
+def build(seed=181):
+    config = ClusterConfig(seed=seed)
+    config.workload.n_rows = 2000
+    config.kv.n_regions = 4
+    config.kv.wal_sync_interval = 300.0
+    config.recovery.client_heartbeat_interval = 0.5
+    cluster = SimCluster(config).start()
+    cluster.preload()
+    cluster.warm_caches()
+    cluster.create_table(ORDERS, split_points=["order5000"])
+    return cluster
+
+
+def read(cluster, handle, table, row):
+    def txn():
+        ctx = yield from handle.txn.begin()
+        return (yield from handle.txn.read(ctx, table, row))
+
+    return cluster.run(txn())
+
+
+def test_transaction_spans_tables_atomically():
+    cluster = build()
+    handle = cluster.add_client()
+
+    def txn():
+        ctx = yield from handle.txn.begin()
+        handle.txn.write(ctx, TABLE, row_key(5), "customer-updated")
+        handle.txn.write(ctx, ORDERS, "order0001", "pending")
+        handle.txn.write(ctx, ORDERS, "order9001", "shipped")
+        yield from handle.txn.commit(ctx, wait_flush=True)
+        return ctx
+
+    ctx = cluster.run(txn())
+    assert ctx.commit_ts is not None
+    assert read(cluster, handle, TABLE, row_key(5)) == "customer-updated"
+    assert read(cluster, handle, ORDERS, "order0001") == "pending"
+    assert read(cluster, handle, ORDERS, "order9001") == "shipped"
+
+
+def test_cross_table_writes_recovered_after_server_crash():
+    cluster = build(seed=182)
+    handle = cluster.add_client()
+
+    def txn(n):
+        ctx = yield from handle.txn.begin()
+        handle.txn.write(ctx, TABLE, row_key(n), f"cust-{n}")
+        handle.txn.write(ctx, ORDERS, f"order{n:04d}", f"order-{n}")
+        handle.txn.write(ctx, ORDERS, f"order{9000 + n:04d}", f"late-{n}")
+        yield from handle.txn.commit(ctx, wait_flush=True)
+        return ctx
+
+    for n in range(12):
+        cluster.run(txn(n))
+
+    cluster.crash_server(0)
+    cluster.run_until(cluster.kernel.now + 15.0)
+    status = cluster.cluster_status()
+    assert all(status["online"].values())
+
+    for n in range(12):
+        assert read(cluster, handle, TABLE, row_key(n)) == f"cust-{n}"
+        assert read(cluster, handle, ORDERS, f"order{n:04d}") == f"order-{n}"
+        assert read(cluster, handle, ORDERS, f"order{9000 + n:04d}") == f"late-{n}"
+
+
+def test_cross_table_writes_recovered_after_client_crash():
+    cluster = build(seed=183)
+    victim = cluster.add_client("victim")
+    reader = cluster.add_client("reader")
+
+    def commit_and_die():
+        ctx = yield from victim.txn.begin()
+        victim.txn.write(ctx, TABLE, row_key(77), "cross-cust")
+        victim.txn.write(ctx, ORDERS, "order0077", "cross-order")
+        yield from victim.txn.commit(ctx)
+        victim.node.crash()
+
+    proc = cluster.kernel.process(commit_and_die())
+    proc.defuse()
+    cluster.run_until(cluster.kernel.now + 6.0)
+    rm = cluster.rm_status()
+    assert rm["client_recoveries"] == 1
+    assert read(cluster, reader, TABLE, row_key(77)) == "cross-cust"
+    assert read(cluster, reader, ORDERS, "order0077") == "cross-order"
+
+
+def test_duplicate_table_rejected():
+    cluster = build(seed=184)
+    with pytest.raises(Exception, match="already exists"):
+        cluster.create_table(ORDERS)

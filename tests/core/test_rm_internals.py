@@ -1,0 +1,121 @@
+"""Unit-level tests of recovery-manager internals: threshold ingestion,
+floors, and global-minimum computation."""
+
+from repro.core.recovery_manager import FAILED, LIVE, RecoveryManager, _Tracked
+from repro.sim import Kernel, Network
+
+
+def make_rm():
+    k = Kernel(seed=151)
+    net = Network(k)
+    return RecoveryManager(k, net)
+
+
+class TestTracked:
+    def test_effective_without_floors(self):
+        entry = _Tracked(50, 0.0)
+        assert entry.effective() == 50
+
+    def test_floor_caps_effective(self):
+        entry = _Tracked(50, 0.0)
+        entry.floors["r1"] = 30
+        entry.floors["r2"] = 40
+        assert entry.effective() == 30
+        del entry.floors["r1"]
+        assert entry.effective() == 40
+        del entry.floors["r2"]
+        assert entry.effective() == 50
+
+    def test_floor_above_threshold_is_harmless(self):
+        entry = _Tracked(20, 0.0)
+        entry.floors["r"] = 90
+        assert entry.effective() == 20
+
+
+class TestGlobals:
+    def test_global_tf_is_min_over_clients(self):
+        rm = make_rm()
+        rm.clients["a"] = _Tracked(10, 0.0)
+        rm.clients["b"] = _Tracked(7, 0.0)
+        rm._recompute_globals()
+        assert rm.global_tf == 7
+
+    def test_global_tf_monotonic(self):
+        rm = make_rm()
+        rm.clients["a"] = _Tracked(10, 0.0)
+        rm._recompute_globals()
+        assert rm.global_tf == 10
+        # A later, lower min (e.g. a fresh client that registered with the
+        # published global) must not drag the global backwards.
+        rm.clients["b"] = _Tracked(3, 0.0)
+        rm._recompute_globals()
+        assert rm.global_tf == 10
+
+    def test_global_tp_respects_failed_server_pin(self):
+        rm = make_rm()
+        rm.servers["s1"] = _Tracked(100, 0.0)
+        dead = _Tracked(40, 0.0)
+        dead.status = FAILED
+        rm.servers["s2"] = dead
+        rm._recompute_globals()
+        assert rm.global_tp == 40  # pinned until its regions recover
+
+    def test_global_tp_respects_replay_floor(self):
+        rm = make_rm()
+        host = _Tracked(100, 0.0)
+        host.floors["region-x"] = 25  # replay in flight onto this server
+        rm.servers["s1"] = host
+        rm._recompute_globals()
+        assert rm.global_tp == 25
+
+    def test_no_components_leave_globals_unchanged(self):
+        rm = make_rm()
+        rm.global_tf = 5
+        rm.global_tp = 4
+        rm._recompute_globals()
+        assert (rm.global_tf, rm.global_tp) == (5, 4)
+
+
+class TestIngestion:
+    def test_client_heartbeat_updates_live_entry(self):
+        rm = make_rm()
+        rm._ingest_clients(
+            ["/recovery/clients/c1"], [{"data": {"tf": 12, "t": 1.0}}]
+        )
+        assert rm.clients["c1"].threshold == 12
+        rm._ingest_clients(
+            ["/recovery/clients/c1"], [{"data": {"tf": 20, "t": 2.0}}]
+        )
+        assert rm.clients["c1"].threshold == 20
+
+    def test_deleted_znode_unregisters_live_client(self):
+        rm = make_rm()
+        rm.clients["c1"] = _Tracked(5, 0.0)
+        rm._ingest_clients([], [])
+        assert "c1" not in rm.clients
+
+    def test_recovering_client_is_not_unregistered_by_absence(self):
+        rm = make_rm()
+        entry = _Tracked(5, 0.0)
+        entry.status = "recovering"
+        rm.clients["c1"] = entry
+        rm._ingest_clients([], [])
+        assert "c1" in rm.clients  # frozen until its replay completes
+
+    def test_server_alert_recorded(self):
+        rm = make_rm()
+        rm._ingest_servers(
+            ["/recovery/servers/rs0"],
+            [{"data": {"tp": 3, "t": 1.0, "alert": 999}}],
+        )
+        assert rm.alerts and rm.alerts[0]["component"] == "rs0"
+
+    def test_failed_server_ignores_late_heartbeats(self):
+        rm = make_rm()
+        dead = _Tracked(40, 0.0)
+        dead.status = FAILED
+        rm.servers["rs0"] = dead
+        rm._ingest_servers(
+            ["/recovery/servers/rs0"], [{"data": {"tp": 99, "t": 5.0}}]
+        )
+        assert rm.servers["rs0"].threshold == 40  # stays pinned

@@ -1,0 +1,145 @@
+"""Integration tests: server-failure recovery (Section 3.2, Algorithm 4)."""
+
+from repro import TABLE
+from repro.kvstore.keys import row_key
+from tests.core.conftest import commit_rows, read_row, recovery_cluster, rows_on_server
+
+
+def test_unsynced_committed_writes_survive_server_crash():
+    """The headline guarantee: with asynchronous persistence, a server
+    crash loses memstore + WAL buffer, yet every committed transaction is
+    recovered from the TM log."""
+    cluster = recovery_cluster(seed=31)
+    handle = cluster.add_client()
+    rows = list(range(0, 2000, 97))
+    ctx = commit_rows(cluster, handle, rows, "precrash")
+
+    # Crash immediately after the flush: nothing WAL-synced on the victim
+    # beyond its last heartbeat.
+    victim_rows = rows_on_server(cluster, 0, rows)
+    assert victim_rows, "expected some rows on the victim server"
+    cluster.crash_server(0)
+    cluster.run_until(cluster.kernel.now + 15.0)
+
+    status = cluster.cluster_status()
+    assert status["failures_handled"] == 1
+    assert all(status["online"].values())
+
+    rm = cluster.rm_status()
+    assert rm["replayed_fragments"] > 0
+    assert rm["pending_regions"] == {}
+
+    for i in rows:
+        assert read_row(cluster, handle, i) == f"precrash-{i}"
+    # The commit was never lost from the application's perspective.
+    assert ctx.commit_ts is not None
+
+
+def test_already_persisted_writes_not_replayed():
+    """Write-sets below T_P^r(s) are not replayed: the server-side
+    checkpointing actually limits recovery work."""
+    cluster = recovery_cluster(seed=32, server_hb=0.5, client_hb=0.25)
+    handle = cluster.add_client()
+    old_rows = list(range(0, 500, 13))
+    commit_rows(cluster, handle, old_rows, "old")
+    # Let heartbeats persist the WAL and advance all thresholds past it.
+    cluster.run_until(cluster.kernel.now + 3.0)
+    rm_before = cluster.rm_status()
+    assert rm_before["global_tp"] >= 1
+
+    cluster.crash_server(0)
+    cluster.run_until(cluster.kernel.now + 15.0)
+    rm = cluster.rm_status()
+    # Everything was persisted before the crash: zero fragments replayed.
+    assert rm["replayed_fragments"] == 0
+    for i in old_rows:
+        assert read_row(cluster, handle, i) == f"old-{i}"
+
+
+def test_reads_never_observe_partially_recovered_state():
+    """Atomicity across recovery: a region gated on transactional recovery
+    must not serve the pre-crash (initial) value of a lost update."""
+    cluster = recovery_cluster(seed=33)
+    handle = cluster.add_client()
+    rows = list(range(0, 2000, 53))
+    commit_rows(cluster, handle, rows, "gated")
+    victim_rows = rows_on_server(cluster, 0, rows)
+    assert victim_rows
+    cluster.crash_server(0)
+
+    # Read one victim row immediately.  The client retries through the
+    # outage; whenever the read completes it must see the committed value,
+    # never the stale preload value.
+    value = read_row(cluster, handle, victim_rows[0])
+    assert value == f"gated-{victim_rows[0]}"
+
+
+def test_regions_recover_in_parallel_across_survivors():
+    cluster = recovery_cluster(seed=34, n_servers=3, n_regions=6)
+    handle = cluster.add_client()
+    rows = list(range(0, 2000, 41))
+    commit_rows(cluster, handle, rows, "spread")
+    cluster.crash_server(0)
+    cluster.run_until(cluster.kernel.now + 15.0)
+    status = cluster.cluster_status()
+    survivors = set(status["assignments"].values())
+    assert survivors <= {"rs1", "rs2"}
+    assert len(survivors) == 2  # reassignment spread over both survivors
+    for i in rows:
+        assert read_row(cluster, handle, i) == f"spread-{i}"
+
+
+def test_responsibility_inheritance_survives_cascading_failure():
+    """Crash rs0; its regions recover onto survivors; crash the inheritor
+    shortly after.  The piggybacked T_P / floors must keep the replayed
+    write-sets recoverable a second time."""
+    cluster = recovery_cluster(seed=35, n_servers=3, n_regions=6)
+    handle = cluster.add_client()
+    rows = list(range(0, 2000, 29))
+    commit_rows(cluster, handle, rows, "cascade")
+    cluster.crash_server(0)
+    cluster.run_until(cluster.kernel.now + 8.0)
+    status = cluster.cluster_status()
+    assert all(status["online"].values())
+    # Crash a survivor quickly -- before its regular heartbeat cadence has
+    # fully re-persisted everything it just inherited.
+    cluster.crash_server(1)
+    cluster.run_until(cluster.kernel.now + 20.0)
+    status = cluster.cluster_status()
+    assert all(status["online"].values())
+    assert set(status["assignments"].values()) == {"rs2"}
+    for i in rows:
+        assert read_row(cluster, handle, i) == f"cascade-{i}"
+
+
+def test_flush_interrupted_by_failure_eventually_completes():
+    """A client mid-flush when the server dies keeps retrying (unbounded,
+    per Section 3.2) and completes once the region is back online, letting
+    T_F advance again."""
+    cluster = recovery_cluster(seed=36)
+    handle = cluster.add_client()
+    rows = list(range(0, 2000, 67))
+
+    ctx_holder = {}
+
+    def committing():
+        ctx = yield from handle.txn.begin()
+        for i in rows:
+            handle.txn.write(ctx, TABLE, row_key(i), f"during-{i}")
+        yield from handle.txn.commit(ctx)  # flush continues in background
+        ctx_holder["ctx"] = ctx
+        return ctx
+
+
+    proc = cluster.kernel.process(committing())
+    proc.defuse()
+    # Crash while the commit/flush is in flight.
+    cluster.after(0.004, lambda: cluster.crash_server(0))
+    cluster.run_until(cluster.kernel.now + 25.0)
+
+    ctx = ctx_holder["ctx"]
+    assert ctx.state == "flushed"  # retries outlasted the outage
+    cluster.run_until(cluster.kernel.now + 3.0)
+    assert handle.agent.tf >= ctx.commit_ts  # T_F unblocked
+    for i in rows:
+        assert read_row(cluster, handle, i) == f"during-{i}"

@@ -1,0 +1,96 @@
+"""Simultaneous client + server failure: the hardest covered scenario.
+
+A client dies with commits unflushed at the same instant a server dies
+with flushed-but-unpersisted data.  The two recoveries overlap: the region
+replay (after T_P^r) and the client replay (after T_F^r) both run, both
+idempotent, and between them every acknowledged commit survives.
+"""
+
+from repro import TABLE
+from repro.kvstore.keys import row_key
+from repro.workload.verify import CommitLedger
+from tests.core.conftest import recovery_cluster
+
+
+def test_client_and_server_die_together():
+    cluster = recovery_cluster(seed=201, n_servers=3, n_regions=6)
+    doomed = cluster.add_client("doomed")
+    steady = cluster.add_client("steady")
+    ledger = CommitLedger()
+
+    def committed(handle, rows, tag, wait_flush):
+        ctx = yield from handle.txn.begin()
+        for i in rows:
+            handle.txn.write(ctx, TABLE, row_key(i), f"{tag}-{i}")
+        yield from handle.txn.commit(ctx, wait_flush=wait_flush)
+        return ctx
+
+    # Steady traffic that is fully flushed (but not persisted: huge WAL
+    # sync interval) -- the server crash's exposure.
+    for n in range(5):
+        cluster.run(
+            ledger.executed(
+                cluster,
+                committed(steady, range(n * 120, n * 120 + 30), f"s{n}", True),
+                TABLE,
+            )
+        )
+
+    # The doomed client commits and immediately dies mid-flush -- the
+    # client crash's exposure -- while a server dies at the same moment.
+    def doom():
+        ctx = yield from committed(
+            doomed, range(1000, 2000, 47), "doomed", False
+        )
+        ledger.record(ctx, TABLE)
+        doomed.node.crash()
+        cluster.crash_server(0)
+
+    proc = cluster.kernel.process(doom())
+    proc.defuse()
+    cluster.run_until(cluster.kernel.now + 25.0)
+
+    status = cluster.cluster_status()
+    assert status["failures_handled"] == 1
+    assert all(status["online"].values())
+    rm = cluster.rm_status()
+    assert rm["client_recoveries"] == 1
+    assert rm["pending_regions"] == {}
+
+    violations = ledger.verify(cluster)
+    assert violations == [], f"lost {len(violations)}: {violations[:3]}"
+
+
+def test_two_servers_die_together():
+    """Two machines die at the same instant (a rack failure).  With
+    replication factor 3 the filesystem keeps every durable file readable,
+    and the TM log replays everything volatile -- nothing acknowledged is
+    lost even though two thirds of the store vanished at once."""
+    cluster = recovery_cluster(seed=202, n_servers=3, n_regions=6, replication=3)
+    handle = cluster.add_client()
+    ledger = CommitLedger()
+
+    def committed(rows, tag):
+        ctx = yield from handle.txn.begin()
+        for i in rows:
+            handle.txn.write(ctx, TABLE, row_key(i), f"{tag}-{i}")
+        yield from handle.txn.commit(ctx, wait_flush=True)
+        return ctx
+
+    for n in range(4):
+        cluster.run(
+            ledger.executed(
+                cluster, committed(range(n * 150, n * 150 + 40), f"b{n}"), TABLE
+            )
+        )
+
+    cluster.crash_server(0)
+    cluster.crash_server(1)  # same instant: a rack failure
+    cluster.run_until(cluster.kernel.now + 40.0)
+    status = cluster.cluster_status()
+    assert status["failures_handled"] == 2
+    assert all(status["online"].values())
+    assert set(status["assignments"].values()) == {"rs2"}
+
+    violations = ledger.verify(cluster)
+    assert violations == [], f"lost {len(violations)}: {violations[:3]}"

@@ -1,0 +1,93 @@
+"""Tests for datanode-failure repair: re-replication and degraded pipelines."""
+
+import pytest
+
+from repro.dfs import DataNode, DfsClient, NameNode
+from repro.sim import Kernel, Network, Node
+
+
+@pytest.fixture
+def repair_env():
+    k = Kernel(seed=91)
+    net = Network(k)
+    nn = NameNode(k, net, repair_interval=0.5)
+    dns = [DataNode(k, net, f"dn{i}") for i in range(3)]
+    host = Node(k, net, "host")
+    client = DfsClient(host, replication=2)
+    k.run(until=0.01)
+    return k, net, nn, dns, host, client
+
+
+def run(k, gen):
+    return k.run_until_complete(k.process(gen))
+
+
+def test_closed_file_rereplicated_after_datanode_loss(repair_env):
+    k, _net, nn, dns, _host, client = repair_env
+    replicas = run(k, client.create("/f"))
+    run(k, client.append("/f", [("a", 50), ("b", 50)]))
+    run(k, client.close("/f"))
+
+    by_addr = {dn.addr: dn for dn in dns}
+    by_addr[replicas[0]].crash()
+    k.run(until=k.now + 5.0)
+
+    assert nn.repairs_completed == 1
+    meta = run(k, client.stat("/f"))
+    assert len(meta["replicas"]) == 2
+    assert replicas[0] not in meta["replicas"]
+    # The new replica actually holds the data, durably.
+    new_dn = next(a for a in meta["replicas"] if a not in replicas)
+    stored = by_addr[new_dn].replica("/f")
+    assert stored is not None
+    assert [r.payload for r in stored.durable_records()] == ["a", "b"]
+
+
+def test_open_file_keeps_degraded_pipeline(repair_env):
+    k, _net, nn, dns, _host, client = repair_env
+    replicas = run(k, client.create("/wal"))
+    run(k, client.append("/wal", [("r1", 20)]))
+    by_addr = {dn.addr: dn for dn in dns}
+    survivor = replicas[1]
+    by_addr[replicas[0]].crash()
+    k.run(until=k.now + 3.0)
+
+    # Not cloned (the file is open), but appends keep flowing to the
+    # surviving replica.
+    run(k, client.append("/wal", [("r2", 20)]))
+    data = run(k, client.read_all("/wal"))
+    assert [p for p, _n in data] == ["r1", "r2"]
+    meta = run(k, client.stat("/wal"))
+    assert meta["replicas"] == [survivor]
+
+
+def test_reads_survive_during_repair_window(repair_env):
+    k, _net, _nn, dns, _host, client = repair_env
+    replicas = run(k, client.create("/g"))
+    run(k, client.append("/g", [("x", 10)]))
+    run(k, client.close("/g"))
+    by_addr = {dn.addr: dn for dn in dns}
+    by_addr[replicas[0]].crash()
+    # Immediately, before the monitor has repaired anything:
+    data = run(k, client.read_all("/g"))
+    assert [p for p, _n in data] == ["x"]
+
+
+def test_no_repair_possible_with_no_spare_datanodes():
+    k = Kernel(seed=92)
+    net = Network(k)
+    nn = NameNode(k, net, repair_interval=0.5)
+    dns = [DataNode(k, net, f"dn{i}") for i in range(2)]
+    host = Node(k, net, "host")
+    client = DfsClient(host, replication=2)
+    k.run(until=0.01)
+    replicas = k.run_until_complete(k.process(client.create("/f")))
+    k.run_until_complete(k.process(client.append("/f", [("a", 10)])))
+    k.run_until_complete(k.process(client.close("/f")))
+    by_addr = {dn.addr: dn for dn in dns}
+    by_addr[replicas[0]].crash()
+    k.run(until=k.now + 3.0)
+    assert nn.repairs_completed == 0  # nowhere to put a new replica
+    # Data still readable from the survivor.
+    data = k.run_until_complete(k.process(client.read_all("/f")))
+    assert [p for p, _n in data] == ["a"]

@@ -1,0 +1,80 @@
+"""Shared mini-cluster fixture for kvstore integration tests."""
+
+import pytest
+
+from repro.config import KvSettings, ZkSettings
+from repro.dfs import DataNode, NameNode
+from repro.kvstore import KvClient, Master, RegionServer
+from repro.sim import Kernel, Network, Node
+from repro.zk import ZkService
+
+
+class MiniCluster:
+    """ZK + namenode + N (datanode, region server) machines + master."""
+
+    def __init__(self, n_servers=2, seed=4, kv_settings=None, table_splits=("m",)):
+        self.kernel = Kernel(seed=seed)
+        self.net = Network(self.kernel)
+        self.settings = kv_settings or KvSettings(memstore_flush_entries=100_000)
+        self.zk = ZkService(
+            self.kernel,
+            self.net,
+            settings=ZkSettings(session_timeout=1.0, tick_interval=0.2),
+        )
+        self.namenode = NameNode(self.kernel, self.net)
+        self.datanodes = []
+        self.servers = []
+        for i in range(n_servers):
+            dn = DataNode(self.kernel, self.net, f"dn{i}")
+            rs = RegionServer(
+                self.kernel,
+                self.net,
+                f"rs{i}",
+                settings=self.settings,
+                local_datanode=dn.addr,
+            )
+            self.datanodes.append(dn)
+            self.servers.append(rs)
+        self.master = Master(self.kernel, self.net, settings=self.settings)
+        self.app = Node(self.kernel, self.net, "app")
+        self.client = KvClient(self.app, settings=self.settings)
+
+        starts = [rs.spawn(rs.start(), name="start") for rs in self.servers]
+        starts.append(self.master.spawn(self.master.start(), name="start"))
+        for p in starts:
+            p.defuse()
+        self.kernel.run(until=1.0)
+        assert all(rs.started for rs in self.servers)
+        regions = self.run(
+            self.call(self.master.addr, "create_table", table="t", split_points=list(table_splits))
+        )
+        self.regions = regions
+
+    def call(self, dst, method, **kw):
+        def gen():
+            result = yield self.app.call(dst, method, timeout=30.0, **kw)
+            return result
+
+        return gen()
+
+    def run(self, gen):
+        """Drive a generator to completion on the app node."""
+        return self.kernel.run_until_complete(self.kernel.process(gen))
+
+    def crash_machine(self, index):
+        """Crash a region server together with its co-located datanode."""
+        self.servers[index].crash()
+        self.datanodes[index].crash()
+
+    def put(self, txn_ts, rows, value_prefix="v"):
+        """Flush one write-set of (row -> value) at version txn_ts."""
+        cells = [(row, "f", txn_ts, f"{value_prefix}-{row}-{txn_ts}") for row in rows]
+        return self.run(self.client.flush_write_set("t", txn_ts, cells))
+
+    def get(self, row, max_version, **kw):
+        return self.run(self.client.get("t", row, "f", max_version, **kw))
+
+
+@pytest.fixture
+def mini():
+    return MiniCluster()

@@ -1,0 +1,93 @@
+"""Unit tests for key utilities and region descriptors."""
+
+import pytest
+
+from repro.kvstore.keys import (
+    Cell,
+    KeyRange,
+    region_id,
+    row_key,
+    split_points_for,
+)
+from repro.kvstore.region import (
+    ONLINE,
+    OPENING,
+    RECOVERING,
+    Region,
+    RegionDescriptor,
+)
+
+
+class TestRowKeys:
+    def test_fixed_width_preserves_order(self):
+        keys = [row_key(i) for i in (0, 9, 10, 99, 100, 5000)]
+        assert keys == sorted(keys)
+
+    def test_split_points_even(self):
+        points = split_points_for(1000, 4)
+        assert points == [row_key(250), row_key(500), row_key(750)]
+
+    def test_single_region_no_splits(self):
+        assert split_points_for(1000, 1) == []
+
+    def test_invalid_region_count(self):
+        with pytest.raises(ValueError):
+            split_points_for(1000, 0)
+
+
+class TestKeyRange:
+    def test_contains_half_open(self):
+        r = KeyRange("b", "d")
+        assert not r.contains("a")
+        assert r.contains("b")
+        assert r.contains("c")
+        assert not r.contains("d")
+
+    def test_unbounded_end(self):
+        r = KeyRange("m", None)
+        assert r.contains("zzzz")
+        assert not r.contains("a")
+
+
+class TestCellWire:
+    def test_roundtrip(self):
+        cell = Cell("r", "f", 7, {"nested": [1, 2]})
+        assert Cell.from_wire(cell.to_wire()) == cell
+
+    def test_tombstone_roundtrip(self):
+        cell = Cell("r", "f", 7, None, tombstone=True)
+        back = Cell.from_wire(cell.to_wire())
+        assert back.tombstone and back.value is None
+
+
+class TestRegionDescriptor:
+    def test_wire_roundtrip(self):
+        d = RegionDescriptor(table="t", start="a", end="m")
+        assert RegionDescriptor.from_wire(d.to_wire()) == d
+        assert d.region_id == region_id("t", KeyRange("a", "m"))
+
+    def test_data_dir_handles_empty_start(self):
+        d = RegionDescriptor(table="t", start="", end="m")
+        assert d.data_dir() == "/data/t/_first/"
+
+
+class TestRegionWriteGate:
+    def make(self, state):
+        return Region(
+            descriptor=RegionDescriptor(table="t", start="", end=None), state=state
+        )
+
+    def test_online_accepts_all_writes(self):
+        region = self.make(ONLINE)
+        assert region.accepts_writes(from_recovery=False)
+        assert region.accepts_writes(from_recovery=True)
+
+    def test_recovering_accepts_only_recovery_writes(self):
+        region = self.make(RECOVERING)
+        assert not region.accepts_writes(from_recovery=False)
+        assert region.accepts_writes(from_recovery=True)
+
+    def test_opening_rejects_everything(self):
+        region = self.make(OPENING)
+        assert not region.accepts_writes(from_recovery=False)
+        assert not region.accepts_writes(from_recovery=True)

@@ -1,0 +1,120 @@
+"""Region merges: the administrative inverse of a split."""
+
+import pytest
+
+from repro import ClusterConfig, SimCluster, TABLE
+from repro.kvstore.keys import row_key
+
+
+def build(seed=191):
+    config = ClusterConfig(seed=seed)
+    config.workload.n_rows = 2000
+    config.kv.n_regions = 4
+    cluster = SimCluster(config).start()
+    cluster.preload()
+    cluster.warm_caches()
+    return cluster
+
+
+def adjacent_pair(cluster):
+    entries = cluster.run(cluster.rpc("master", "locate_table", table=TABLE))
+    return entries[0]["region"], entries[1]["region"]
+
+
+def write_rows(cluster, handle, rows, tag):
+    def txn():
+        ctx = yield from handle.txn.begin()
+        for i in rows:
+            handle.txn.write(ctx, TABLE, row_key(i), f"{tag}-{i}")
+        yield from handle.txn.commit(ctx, wait_flush=True)
+
+    cluster.run(txn())
+
+
+def read_row(cluster, handle, i):
+    def txn():
+        ctx = yield from handle.txn.begin()
+        return (yield from handle.txn.read(ctx, TABLE, row_key(i)))
+
+    return cluster.run(txn())
+
+
+def test_merge_preserves_data_and_routing():
+    cluster = build()
+    handle = cluster.add_client()
+    rows = list(range(0, 1000, 37))  # spans the first two regions
+    write_rows(cluster, handle, rows, "pre-merge")
+
+    low, high = adjacent_pair(cluster)
+    result = cluster.run(
+        cluster.rpc("master", "merge_regions", region_low=low, region_high=high)
+    )
+    status = cluster.cluster_status()
+    assert status["merges"] == 1
+    assert result["merged"] in status["assignments"]
+    assert low != result["merged"] or high not in status["assignments"]
+    assert len([r for r in status["assignments"]]) == 3  # 4 -> 3 regions
+    assert all(status["online"].values())
+
+    for i in rows:
+        assert read_row(cluster, handle, i) == f"pre-merge-{i}"
+    # New writes land in the merged region and read back.
+    write_rows(cluster, handle, [3, 700], "post-merge")
+    assert read_row(cluster, handle, 3) == "post-merge-3"
+    assert read_row(cluster, handle, 700) == "post-merge-700"
+
+
+def test_merged_region_recovers_after_failure():
+    cluster = build(seed=192)
+    cluster.config.kv.wal_sync_interval = 300.0
+    for rs in cluster.servers:
+        rs.wal.sync_interval = 300.0
+    handle = cluster.add_client()
+    low, high = adjacent_pair(cluster)
+    cluster.run(
+        cluster.rpc("master", "merge_regions", region_low=low, region_high=high)
+    )
+    rows = list(range(0, 1000, 53))
+    write_rows(cluster, handle, rows, "fresh")
+    cluster.crash_server(0)
+    cluster.run_until(cluster.kernel.now + 15.0)
+    assert all(cluster.cluster_status()["online"].values())
+    for i in rows:
+        assert read_row(cluster, handle, i) == f"fresh-{i}"
+
+
+def test_merge_rejects_non_adjacent():
+    cluster = build(seed=193)
+    entries = cluster.run(cluster.rpc("master", "locate_table", table=TABLE))
+    with pytest.raises(Exception, match="not adjacent"):
+        cluster.run(
+            cluster.rpc(
+                "master", "merge_regions",
+                region_low=entries[0]["region"], region_high=entries[2]["region"],
+            )
+        )
+
+
+def test_merge_then_split_roundtrip():
+    cluster = build(seed=194)
+    handle = cluster.add_client()
+    low, high = adjacent_pair(cluster)
+    result = cluster.run(
+        cluster.rpc("master", "merge_regions", region_low=low, region_high=high)
+    )
+    merged = result["merged"]
+    status = cluster.cluster_status()
+    holder = status["assignments"][merged]
+    split = cluster.run(
+        cluster.rpc(
+            "master", "request_split",
+            region=merged, midpoint=row_key(500), server=holder,
+        )
+    )
+    assert split["split"] is True
+    status = cluster.cluster_status()
+    assert len(status["assignments"]) == 4  # back to four regions
+    assert all(status["online"].values())
+    write_rows(cluster, handle, [100, 600], "roundtrip")
+    assert read_row(cluster, handle, 100) == "roundtrip-100"
+    assert read_row(cluster, handle, 600) == "roundtrip-600"

@@ -1,0 +1,117 @@
+"""Region splits: automatic growth-driven splitting (Section 2.1's
+"each table is partitioned into one or more chunks called regions")."""
+
+import pytest
+
+from repro import ClusterConfig, SimCluster, TABLE
+from repro.kvstore.keys import row_key
+from repro.workload import WorkloadDriver
+
+
+def split_cluster(seed=121, split_entries=400, n_rows=2000):
+    config = ClusterConfig(seed=seed)
+    config.workload.n_rows = n_rows
+    config.workload.n_clients = 6
+    config.kv.n_regions = 2
+    config.kv.region_split_entries = split_entries
+    config.kv.memstore_flush_entries = 150  # flush often so sstables grow
+    cluster = SimCluster(config).start()
+    cluster.preload()
+    cluster.warm_caches()
+    return cluster
+
+
+def write_rows(cluster, handle, rows, tag):
+    def txn():
+        ctx = yield from handle.txn.begin()
+        for i in rows:
+            handle.txn.write(ctx, TABLE, row_key(i), f"{tag}-{i}")
+        yield from handle.txn.commit(ctx, wait_flush=True)
+
+    cluster.run(txn())
+
+
+def test_hot_region_splits_and_data_survives():
+    cluster = split_cluster()
+    handle = cluster.add_client()
+    # Hammer the first region (rows 0..999) so it crosses the threshold.
+    for batch in range(6):
+        rows = range(batch * 150, batch * 150 + 150)
+        write_rows(cluster, handle, rows, f"b{batch}")
+        cluster.run_until(cluster.kernel.now + 1.0)
+    cluster.run_until(cluster.kernel.now + 5.0)
+
+    status = cluster.cluster_status()
+    assert status["splits"] >= 1
+    assert len(status["assignments"]) >= 3  # started with 2 regions
+    assert all(status["online"].values())
+
+    def read(i):
+        ctx = yield from handle.txn.begin()
+        return (yield from handle.txn.read(ctx, TABLE, row_key(i)))
+
+    # Every written value, across both children, is still readable.
+    for batch in range(6):
+        for i in (batch * 150, batch * 150 + 149):
+            assert cluster.run(read(i)) == f"b{batch}-{i}"
+    # Untouched preloaded rows too.
+    assert cluster.run(read(1500)) == "init-1500"
+
+
+def test_writes_continue_through_split():
+    cluster = split_cluster(seed=122)
+    driver = WorkloadDriver(cluster)
+    result = driver.run(duration=15.0, target_tps=120.0)
+    status = cluster.cluster_status()
+    assert status["splits"] >= 1
+    assert result.failed == 0
+    assert result.achieved_tps > 100.0
+
+
+def test_split_children_recover_after_server_failure():
+    """Crash a server hosting split children: recovery must use the
+    children's (fresh) boundaries, not any stale parent range."""
+    cluster = split_cluster(seed=123)
+    cluster.config.kv.wal_sync_interval = 300.0  # lazy store persistence
+    for rs in cluster.servers:
+        rs.wal.sync_interval = 300.0
+    handle = cluster.add_client()
+    for batch in range(6):
+        write_rows(cluster, handle, range(batch * 150, batch * 150 + 150), f"c{batch}")
+        cluster.run_until(cluster.kernel.now + 1.0)
+    cluster.run_until(cluster.kernel.now + 5.0)
+    assert cluster.cluster_status()["splits"] >= 1
+
+    # Fresh unpersisted writes over the split children, then crash.
+    fresh = list(range(0, 2000, 59))
+    write_rows(cluster, handle, fresh, "post-split")
+    cluster.crash_server(0)
+    cluster.run_until(cluster.kernel.now + 20.0)
+    status = cluster.cluster_status()
+    assert all(status["online"].values())
+
+    def read(i):
+        ctx = yield from handle.txn.begin()
+        return (yield from handle.txn.read(ctx, TABLE, row_key(i)))
+
+    for i in fresh:
+        assert cluster.run(read(i)) == f"post-split-{i}"
+
+
+def test_scan_spans_split_children():
+    cluster = split_cluster(seed=124)
+    handle = cluster.add_client()
+    for batch in range(6):
+        write_rows(cluster, handle, range(batch * 150, batch * 150 + 150), f"s{batch}")
+        cluster.run_until(cluster.kernel.now + 1.0)
+    cluster.run_until(cluster.kernel.now + 5.0)
+    assert cluster.cluster_status()["splits"] >= 1
+
+    def scan():
+        ctx = yield from handle.txn.begin()
+        return (yield from handle.txn.scan(ctx, TABLE, row_key(100), row_key(500)))
+
+    rows = cluster.run(scan())
+    assert len(rows) == 400
+    assert rows[0][0] == row_key(100)
+    assert rows[-1][0] == row_key(499)

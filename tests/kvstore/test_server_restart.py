@@ -1,0 +1,94 @@
+"""Server restart: a crashed machine rejoins the cluster."""
+
+import pytest
+
+from repro import ClusterConfig, SimCluster, TABLE
+from repro.kvstore.keys import row_key
+
+
+def build(seed=171):
+    config = ClusterConfig(seed=seed)
+    config.workload.n_rows = 3000
+    config.kv.n_regions = 6
+    config.kv.wal_sync_interval = 300.0
+    config.recovery.client_heartbeat_interval = 0.5
+    config.recovery.server_heartbeat_interval = 0.5
+    config.zk.session_timeout = 1.0
+    config.zk.tick_interval = 0.2
+    cluster = SimCluster(config).start()
+    cluster.preload()
+    cluster.warm_caches()
+    return cluster
+
+
+def write_rows(cluster, handle, rows, tag):
+    def txn():
+        ctx = yield from handle.txn.begin()
+        for i in rows:
+            handle.txn.write(ctx, TABLE, row_key(i), f"{tag}-{i}")
+        yield from handle.txn.commit(ctx, wait_flush=True)
+
+    cluster.run(txn())
+
+
+def read_row(cluster, handle, i):
+    def txn():
+        ctx = yield from handle.txn.begin()
+        return (yield from handle.txn.read(ctx, TABLE, row_key(i)))
+
+    return cluster.run(txn())
+
+
+def test_restarted_server_rejoins_and_takes_regions():
+    cluster = build()
+    handle = cluster.add_client()
+    rows = list(range(0, 3000, 101))
+    write_rows(cluster, handle, rows, "before")
+
+    cluster.crash_server(0)
+    cluster.run_until(cluster.kernel.now + 12.0)  # failover + recovery
+    assert all(cluster.cluster_status()["online"].values())
+
+    cluster.restart_server(0)
+    cluster.run_until(cluster.kernel.now + 2.0)
+    status = cluster.cluster_status()
+    assert sorted(status["live_servers"]) == ["rs0", "rs1"]
+
+    moves = cluster.run(cluster.rpc("master", "balance"))
+    assert moves, "balancing must move regions onto the rejoined server"
+    status = cluster.cluster_status()
+    assert "rs0" in set(status["assignments"].values())
+    assert all(status["online"].values())
+
+    for i in rows:
+        assert read_row(cluster, handle, i) == f"before-{i}"
+
+
+def test_restarted_server_is_recoverable_again():
+    """The rejoined incarnation writes to a fresh WAL epoch; crashing it
+    again recovers its new data like any server's."""
+    cluster = build(seed=172)
+    handle = cluster.add_client()
+    cluster.crash_server(0)
+    cluster.run_until(cluster.kernel.now + 12.0)
+    cluster.restart_server(0)
+    cluster.run_until(cluster.kernel.now + 2.0)
+    cluster.run(cluster.rpc("master", "balance"))
+
+    rows = list(range(0, 3000, 67))
+    write_rows(cluster, handle, rows, "second-life")
+    cluster.crash_server(0)  # crash the restarted incarnation, data unsynced
+    cluster.run_until(cluster.kernel.now + 15.0)
+    status = cluster.cluster_status()
+    assert all(status["online"].values())
+    for i in rows:
+        assert read_row(cluster, handle, i) == f"second-life-{i}"
+
+
+def test_restart_while_alive_is_noop():
+    cluster = build(seed=173)
+    rs = cluster.servers[0]
+    before_epoch = rs.wal.epoch
+    cluster.run(rs.restart())
+    assert rs.wal.epoch == before_epoch  # untouched
+    assert rs.started

@@ -1,0 +1,131 @@
+"""Unit tests for sstable construction/reading and the block cache."""
+
+import pytest
+
+from repro.dfs import DataNode, DfsClient, NameNode
+from repro.kvstore.blockcache import BlockCache
+from repro.kvstore.keys import Cell
+from repro.kvstore.sstable import SSTable, best_version_in_block, build_blocks
+from repro.sim import Kernel, Network, Node
+
+
+def cells_for_rows(rows, version=1):
+    return [Cell(row=r, column="f", version=version, value=f"v-{r}") for r in rows]
+
+
+class TestBuildBlocks:
+    def test_partitions_by_row_count(self):
+        cells = cells_for_rows([f"r{i:03d}" for i in range(10)])
+        index, blocks = build_blocks(cells, rows_per_block=4)
+        assert index == ["r000", "r004", "r008"]
+        assert [len(b) for b in blocks] == [4, 4, 2]
+
+    def test_multiple_versions_stay_in_one_block(self):
+        cells = []
+        for i in range(4):
+            row = f"r{i}"
+            cells.append(Cell(row, "f", 1, "old"))
+            cells.append(Cell(row, "f", 2, "new"))
+        index, blocks = build_blocks(cells, rows_per_block=2)
+        assert index == ["r0", "r2"]
+        assert [len(b) for b in blocks] == [4, 4]
+
+    def test_empty_input(self):
+        index, blocks = build_blocks([], rows_per_block=4)
+        assert index == [] and blocks == []
+
+
+class TestBestVersionInBlock:
+    def test_picks_newest_at_or_below(self):
+        block = [("r", "f", 1, "a"), ("r", "f", 5, "b"), ("r", "f", 9, "c")]
+        assert best_version_in_block(block, "r", "f", 6) == (5, "b")
+        assert best_version_in_block(block, "r", "f", 9) == (9, "c")
+        assert best_version_in_block(block, "r", "f", 0) is None
+
+    def test_ignores_other_rows_and_columns(self):
+        block = [("r", "f", 1, "a"), ("s", "f", 2, "b"), ("r", "g", 3, "c")]
+        assert best_version_in_block(block, "r", "f", 10) == (1, "a")
+
+
+@pytest.fixture
+def dfs_env():
+    k = Kernel(seed=3)
+    net = Network(k)
+    NameNode(k, net)
+    for i in range(2):
+        DataNode(k, net, f"dn{i}")
+    host = Node(k, net, "host")
+    client = DfsClient(host, replication=2)
+    k.run(until=0.01)
+    return k, client
+
+
+def run(k, gen):
+    return k.run_until_complete(k.process(gen))
+
+
+class TestSSTableIo:
+    def test_write_open_read_roundtrip(self, dfs_env):
+        k, dfs = dfs_env
+        cells = cells_for_rows([f"r{i:03d}" for i in range(20)])
+        sst = run(k, SSTable.write(dfs, "/data/t/r0/sst-1", cells, rows_per_block=8))
+        assert sst.n_blocks == 3
+        reopened = run(k, SSTable.open(dfs, "/data/t/r0/sst-1"))
+        assert reopened.index == sst.index
+        block = run(k, reopened.read_block(dfs, 1))
+        rows = {c[0] for c in block}
+        assert rows == {f"r{i:03d}" for i in range(8, 16)}
+
+    def test_block_for_row(self, dfs_env):
+        k, dfs = dfs_env
+        cells = cells_for_rows([f"r{i:03d}" for i in range(20)])
+        sst = run(k, SSTable.write(dfs, "/data/t/r0/sst-2", cells, rows_per_block=8))
+        assert sst.block_for_row("r000") == 0
+        assert sst.block_for_row("r007") == 0
+        assert sst.block_for_row("r008") == 1
+        assert sst.block_for_row("r019") == 2
+        assert sst.block_for_row("r999") == 2  # clamped to last block
+        assert sst.block_for_row("a") is None  # before first row
+
+
+class TestBlockCache:
+    def test_hit_and_miss_accounting(self):
+        cache = BlockCache(2)
+        assert cache.get(("p", 0)) is None
+        cache.put(("p", 0), ["block"])
+        assert cache.get(("p", 0)) == ["block"]
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = BlockCache(2)
+        cache.put(("p", 0), "a")
+        cache.put(("p", 1), "b")
+        cache.get(("p", 0))  # 0 is now most recent
+        cache.put(("p", 2), "c")  # evicts 1
+        assert cache.contains(("p", 0))
+        assert not cache.contains(("p", 1))
+        assert cache.contains(("p", 2))
+        assert cache.evictions == 1
+
+    def test_put_existing_refreshes_without_eviction(self):
+        cache = BlockCache(2)
+        cache.put(("p", 0), "a")
+        cache.put(("p", 1), "b")
+        cache.put(("p", 0), "a2")
+        assert len(cache) == 2
+        assert cache.get(("p", 0)) == "a2"
+        assert cache.evictions == 0
+
+    def test_invalidate_file(self):
+        cache = BlockCache(4)
+        cache.put(("p", 0), "a")
+        cache.put(("p", 1), "b")
+        cache.put(("q", 0), "c")
+        cache.invalidate_file("p")
+        assert not cache.contains(("p", 0))
+        assert cache.contains(("q", 0))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BlockCache(0)

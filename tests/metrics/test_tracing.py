@@ -1,0 +1,84 @@
+"""Tests for the message tracer."""
+
+import pytest
+
+from repro import ClusterConfig, SimCluster, TABLE
+from repro.kvstore.keys import row_key
+from repro.metrics.tracing import Tracer
+
+
+class TestTracerUnit:
+    def test_record_and_filter(self):
+        t = Tracer()
+        t.record(1.0, "send", "a", "b", "get")
+        t.record(2.0, "deliver", "a", "b", "get")
+        t.record(3.0, "send", "c", "d", "put")
+        assert len(t) == 3
+        assert len(t.events(kind="send")) == 2
+        assert len(t.events(component="c")) == 1
+        assert len(t.events(method="get")) == 2
+        assert len(t.events(t_from=1.5, t_to=2.5)) == 1
+
+    def test_ring_buffer_bounds(self):
+        t = Tracer(capacity=5)
+        for i in range(8):
+            t.record(float(i), "send", "a", "b", "m")
+        assert len(t) == 5
+        assert t.dropped_events == 3
+        assert t.events()[0].t == 3.0
+
+    def test_disable(self):
+        t = Tracer()
+        t.enabled = False
+        t.record(1.0, "send", "a", "b", "m")
+        assert len(t) == 0
+
+    def test_summary_counts(self):
+        t = Tracer()
+        t.record(1.0, "send", "a", "b", "get")
+        t.record(1.1, "deliver", "a", "b", "get")
+        t.record(2.0, "crash", "x", "x", "-")
+        summary = t.summary()
+        assert summary["by_kind"] == {"send": 1, "deliver": 1, "crash": 1}
+        assert summary["by_method"] == {"get": 2}
+
+    def test_format(self):
+        t = Tracer()
+        assert "no matching" in t.format()
+        t.record(1.0, "drop", "a", "b", "flush")
+        assert "drop" in t.format(kind="drop")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestClusterIntegration:
+    def test_trace_captures_rpcs_and_crash(self):
+        config = ClusterConfig(seed=131)
+        config.workload.n_rows = 1000
+        config.kv.n_regions = 2
+        cluster = SimCluster(config)
+        tracer = cluster.enable_tracing()
+        cluster.start()
+        cluster.preload()
+        handle = cluster.add_client()
+
+        def txn():
+            ctx = yield from handle.txn.begin()
+            handle.txn.write(ctx, TABLE, row_key(1), "traced")
+            yield from handle.txn.commit(ctx, wait_flush=True)
+
+        cluster.run(txn())
+        assert tracer.events(method="commit")
+        assert tracer.events(method="txn_flush")
+
+        cluster.crash_server(0)
+        # A message sent at the dead machine is recorded as a drop.
+        cluster.observer.cast("rs0", "server_status")
+        cluster.run_until(cluster.kernel.now + 8.0)
+        crashes = tracer.events(kind="crash")
+        assert {e.src for e in crashes} >= {"rs0", "dn0"}
+        assert tracer.events(kind="drop", method="server_status")
+        # And the recovery conversation is visible.
+        assert tracer.events(method="recover_region")

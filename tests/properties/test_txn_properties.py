@@ -1,0 +1,104 @@
+"""Property-based tests for transaction-manager components."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import SeededRng, zipfian_sampler
+from repro.txn import SICertifier, WriteSet
+from repro.txn.log import LogRecord
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 5)), min_size=1, max_size=60
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_certifier_matches_first_committer_wins_model(txns):
+    """Sequential certify/record must equal the brute-force SI rule:
+    conflict iff some write key was committed after the snapshot."""
+    certifier = SICertifier(horizon=10_000)
+    history = []  # (commit_ts, keys)
+    next_ts = 1
+    for snapshot_age, key_base in txns:
+        start_ts = max(0, next_ts - 1 - snapshot_age)
+        keys = [("t", f"k{key_base + i}", "f") for i in range(2)]
+        expected_conflict = any(
+            ts > start_ts and any(k in recorded for k in keys)
+            for ts, recorded in history
+        )
+        got = certifier.certify(start_ts, keys)
+        assert (got is not None) == expected_conflict
+        if got is None:
+            certifier.record(next_ts, keys)
+            history.append((next_ts, set(keys)))
+            next_ts += 1
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.integers(0, 8),
+            st.integers(0, 100),
+        ),
+        max_size=50,
+    ),
+    st.integers(1, 1000),
+)
+@settings(max_examples=200, deadline=None)
+def test_writeset_stamping_reflects_last_write(ops, commit_ts):
+    ws = WriteSet()
+    model = {}
+    for kind, key_idx, value in ops:
+        row = f"r{key_idx}"
+        if kind == "put":
+            ws.put("t", row, "f", value)
+            model[row] = value
+        else:
+            ws.delete("t", row, "f")
+            model[row] = None
+    cells = ws.stamped_cells("t", commit_ts)
+    assert len(cells) == len(model)
+    assert all(ts == commit_ts for _r, _c, ts, _v in cells)
+    assert {r: v for r, _c, _ts, v in cells} == model
+    assert [r for r, *_ in cells] == sorted(model)
+
+
+@given(st.integers(1, 5000), st.floats(0.01, 0.999))
+@settings(max_examples=50, deadline=None)
+def test_zipfian_sampler_stays_in_domain(n, theta):
+    sample = zipfian_sampler(n, theta, SeededRng(9))
+    for _ in range(200):
+        value = sample()
+        assert 0 <= value < n
+
+
+@given(
+    st.lists(st.integers(1, 10_000), min_size=1, max_size=50, unique=True),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=200, deadline=None)
+def test_log_fetch_truncate_model(timestamps, pivot):
+    """fetch(after) and truncate(up_to) behave like the obvious list model."""
+    from repro.config import TxnSettings
+    from repro.sim import Kernel, Network, Node
+    from repro.txn.log import RecoveryLog
+
+    k = Kernel()
+    host = Node(k, Network(k), "tm")
+    log = RecoveryLog(host, TxnSettings(group_commit_interval=0.0))
+    ordered = sorted(timestamps)
+    events = [
+        log.append(LogRecord(ts, "c", {"t": []}, nbytes=64)) for ts in ordered
+    ]
+
+    def waiter():
+        yield k.all_of(events)
+
+    k.run_until_complete(k.process(waiter()))
+    got = [r.commit_ts for r in log.fetch(pivot)]
+    assert got == [ts for ts in ordered if ts > pivot]
+    dropped = log.truncate(pivot)
+    assert dropped == len([ts for ts in ordered if ts < pivot])
+    assert [r.commit_ts for r in log.fetch(0)] == [ts for ts in ordered if ts >= pivot]

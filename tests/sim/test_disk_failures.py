@@ -1,0 +1,110 @@
+"""Unit tests for the disk model and the failure-schedule helper."""
+
+import pytest
+
+from repro.sim import Disk, Kernel, Network, Node
+from repro.sim.failures import CrashNode, FailureSchedule, Partition
+
+
+class TestDisk:
+    def test_sync_write_takes_time(self):
+        k = Kernel(seed=141)
+        disk = Disk(k, "d", sync_latency=0.004, bytes_per_second=80e6)
+        done = []
+
+        def writer(k, disk):
+            yield from disk.sync_write(8000)
+            done.append(k.now)
+
+        k.process(writer(k, disk))
+        k.run()
+        # Seek (~4 ms +-15%) plus transfer (0.1 ms).
+        assert 0.003 < done[0] < 0.006
+        assert disk.syncs == 1
+        assert disk.bytes_written == 8000
+
+    def test_writes_serialise_on_the_head(self):
+        k = Kernel(seed=142)
+        disk = Disk(k, "d", sync_latency=0.004)
+        done = []
+
+        def writer(k, disk, name):
+            yield from disk.sync_write(100)
+            done.append((name, k.now))
+
+        for name in ("a", "b", "c"):
+            k.process(writer(k, disk, name))
+        k.run()
+        times = [t for _n, t in done]
+        assert times == sorted(times)
+        # Three serialised writes take roughly three seek times.
+        assert times[-1] > 0.009
+
+    def test_queue_length_visible(self):
+        k = Kernel(seed=143)
+        disk = Disk(k, "d", sync_latency=0.01)
+
+        def writer(k, disk):
+            yield from disk.sync_write(10)
+
+        for _ in range(3):
+            k.process(writer(k, disk))
+        k.run(until=0.001)
+        assert disk.queue_length >= 1
+
+
+class TestFailureSchedule:
+    def make_env(self):
+        k = Kernel(seed=144)
+        net = Network(k)
+        a = Node(k, net, "a")
+        b = Node(k, net, "b")
+        return k, net, a, b
+
+    def test_crash_fires_at_time(self):
+        k, net, a, _b = self.make_env()
+        armed = FailureSchedule().crash(2.0, "a").inject(k, net)
+        assert armed == ["t+2s crash a"]
+        k.run(until=1.9)
+        assert a.alive
+        k.run(until=2.1)
+        assert not a.alive
+
+    def test_partition_with_heal(self):
+        k, net, _a, _b = self.make_env()
+        FailureSchedule().partition(1.0, ["a"], ["b"], heal_at=3.0).inject(k, net)
+        k.run(until=1.5)
+        assert not net.reachable("a", "b")
+        k.run(until=3.5)
+        assert net.reachable("a", "b")
+
+    def test_partition_without_heal_persists(self):
+        k, net, _a, _b = self.make_env()
+        FailureSchedule().partition(1.0, ["a"], ["b"]).inject(k, net)
+        k.run(until=10.0)
+        assert not net.reachable("a", "b")
+
+    def test_custom_action(self):
+        k, net, _a, _b = self.make_env()
+        fired = []
+        armed = (
+            FailureSchedule()
+            .custom(0.5, lambda: fired.append(k.now), label="probe")
+            .inject(k, net)
+        )
+        assert "probe" in armed[0]
+        k.run(until=1.0)
+        assert fired == [0.5]
+
+    def test_crash_unknown_address_is_noop(self):
+        k, net, a, _b = self.make_env()
+        FailureSchedule().crash(0.5, "ghost").inject(k, net)
+        k.run(until=1.0)  # must not raise
+        assert a.alive
+
+    def test_chaining_returns_self(self):
+        schedule = FailureSchedule()
+        assert schedule.crash(1, "x") is schedule
+        assert schedule.partition(2, ["x"], ["y"]) is schedule
+        assert schedule.custom(3, lambda: None) is schedule
+        assert len(schedule.faults) == 3

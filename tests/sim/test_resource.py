@@ -1,0 +1,152 @@
+"""Unit tests for Resource and SimQueue."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.sim import Interrupt, Kernel, Resource, SimQueue
+
+
+def test_resource_limits_parallelism():
+    k = Kernel()
+    res = Resource(k, capacity=2)
+    done = []
+
+    def worker(k, res, name):
+        yield from res.use(1.0)
+        done.append((name, k.now))
+
+    for name in "abcd":
+        k.process(worker(k, res, name))
+    k.run()
+    # Two run in [0,1], the next two in [1,2].
+    assert [t for _n, t in done] == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_resource_fifo_grant_order():
+    k = Kernel()
+    res = Resource(k, capacity=1)
+    order = []
+
+    def worker(k, res, name):
+        yield from res.use(1.0)
+        order.append(name)
+
+    for name in ("a", "b", "c"):
+        k.process(worker(k, res, name))
+    k.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_release_without_request_raises():
+    k = Kernel()
+    res = Resource(k, capacity=1)
+    with pytest.raises(ScheduleError):
+        res.release()
+
+
+def test_interrupted_waiter_does_not_leak_slot():
+    k = Kernel()
+    res = Resource(k, capacity=1)
+    finished = []
+
+    def holder(k, res):
+        yield from res.use(5.0)
+        finished.append("holder")
+
+    def victim(k, res):
+        try:
+            yield from res.use(1.0)
+            finished.append("victim")
+        except Interrupt:
+            finished.append("victim-interrupted")
+
+    def late(k, res):
+        yield k.timeout(6.0)
+        yield from res.use(1.0)
+        finished.append("late")
+
+    k.process(holder(k, res))
+    v = k.process(victim(k, res))
+
+    def killer(k, v):
+        yield k.timeout(2.0)
+        v.interrupt("crash")
+
+    k.process(killer(k, v))
+    k.process(late(k, res))
+    k.run()
+    assert "victim-interrupted" in finished
+    assert "late" in finished  # slot was not leaked
+    assert res.in_use == 0
+
+
+def test_capacity_must_be_positive():
+    k = Kernel()
+    with pytest.raises(ScheduleError):
+        Resource(k, capacity=0)
+
+
+def test_simqueue_get_blocks_until_put():
+    k = Kernel()
+    q = SimQueue(k)
+    got = []
+
+    def consumer(k, q):
+        item = yield q.get()
+        got.append((item, k.now))
+
+    def producer(k, q):
+        yield k.timeout(3.0)
+        q.put("item")
+
+    k.process(consumer(k, q))
+    k.process(producer(k, q))
+    k.run()
+    assert got == [("item", 3.0)]
+
+
+def test_simqueue_immediate_get_when_item_present():
+    k = Kernel()
+    q = SimQueue(k)
+    q.put(1)
+    q.put(2)
+    got = []
+
+    def consumer(k, q):
+        got.append((yield q.get()))
+        got.append((yield q.get()))
+
+    k.process(consumer(k, q))
+    k.run()
+    assert got == [1, 2]
+
+
+def test_simqueue_drain():
+    k = Kernel()
+    q = SimQueue(k)
+    for i in range(5):
+        q.put(i)
+    assert q.drain() == [0, 1, 2, 3, 4]
+    assert len(q) == 0
+
+
+def test_simqueue_fifo_across_getters():
+    k = Kernel()
+    q = SimQueue(k)
+    got = []
+
+    def consumer(k, q, name):
+        item = yield q.get()
+        got.append((name, item))
+
+    k.process(consumer(k, q, "g1"))
+    k.process(consumer(k, q, "g2"))
+
+    def producer(k, q):
+        yield k.timeout(1)
+        q.put("x")
+        q.put("y")
+
+    k.process(producer(k, q))
+    k.run()
+    assert got == [("g1", "x"), ("g2", "y")]

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface and the ASCII chart renderer."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.metrics import ascii_chart
+
+
+class TestParser:
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.seed == 0
+        assert args.servers == 2
+        assert not args.sync_wal
+
+    def test_workload_mix_choices(self):
+        args = build_parser().parse_args(["workload", "--mix", "A"])
+        assert args.mix == "A"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workload", "--mix", "Z"])
+
+    def test_failover_args(self):
+        args = build_parser().parse_args(
+            ["failover", "--crash-at", "10", "--tps", "100"]
+        )
+        assert args.crash_at == 10.0
+        assert args.tps == 100.0
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_demo_reports_no_loss(self, capsys):
+        rc = main(["demo", "--rows", "2000", "--regions", "4", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "NO DATA LOST" in out
+
+    def test_workload_summary_printed(self, capsys):
+        rc = main([
+            "workload", "--rows", "2000", "--regions", "4", "--clients", "5",
+            "--duration", "3", "--tps", "40", "--warmup", "0", "--seed", "6",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "workload summary" in out
+        assert "committed" in out
+
+    def test_failover_prints_charts(self, capsys):
+        rc = main([
+            "failover", "--rows", "3000", "--regions", "4", "--clients", "8",
+            "--duration", "20", "--crash-at", "6", "--tps", "40", "--seed", "7",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "throughput (tps)" in out
+        assert "response time (ms)" in out
+        assert "fragments replayed" in out
+
+
+class TestAsciiChart:
+    def test_renders_points(self):
+        chart = ascii_chart([(0, 1.0), (1, 5.0), (2, 3.0)], height=5, width=20)
+        assert "*" in chart
+        assert "5.0" in chart and "1.0" in chart
+
+    def test_handles_gaps(self):
+        chart = ascii_chart([(0, 1.0), (1, None), (2, 2.0)], height=4, width=10)
+        assert "*" in chart
+
+    def test_empty_series(self):
+        assert ascii_chart([]) == "(no data)"
+        assert ascii_chart([(0, None)]) == "(no data)"
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        chart = ascii_chart([(0, 2.0), (1, 2.0)], height=3, width=8)
+        assert "*" in chart
+
+    def test_title_and_label(self):
+        chart = ascii_chart([(0, 1.0)], title="T", y_label="x-axis")
+        assert chart.splitlines()[0] == "T"
+        assert "x-axis" in chart

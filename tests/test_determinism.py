@@ -1,0 +1,40 @@
+"""End-to-end determinism: identical seeds reproduce identical runs,
+including failure scenarios -- the property every benchmark and failure
+test in this repository relies on."""
+
+from repro import ClusterConfig, SimCluster
+from repro.workload import WorkloadDriver
+
+
+def failover_fingerprint(seed):
+    config = ClusterConfig(seed=seed)
+    config.workload.n_rows = 4000
+    config.workload.n_clients = 10
+    config.kv.n_regions = 4
+    config.kv.wal_sync_interval = 300.0
+    cluster = SimCluster(config).start()
+    cluster.preload()
+    cluster.warm_caches()
+    driver = WorkloadDriver(cluster)
+    cluster.after(4.0, lambda: cluster.crash_server(0))
+    result = driver.run(duration=12.0, target_tps=80.0)
+    rm = cluster.rm_status()
+    return (
+        result.committed,
+        result.aborted,
+        result.failed,
+        round(result.latency.mean, 12),
+        round(result.latency.percentile(99), 12),
+        rm["replayed_fragments"],
+        rm["server_region_recoveries"],
+        cluster.kernel.event_count,
+        round(cluster.kernel.now, 9),
+    )
+
+
+def test_failover_run_is_bit_reproducible():
+    assert failover_fingerprint(777) == failover_fingerprint(777)
+
+
+def test_different_seeds_diverge():
+    assert failover_fingerprint(777) != failover_fingerprint(778)

@@ -1,0 +1,106 @@
+"""Transactional-client misuse and lifecycle-guard tests."""
+
+import pytest
+
+from repro import SimCluster, TABLE, small_setup
+from repro.errors import InvalidTxnState
+from repro.kvstore.keys import row_key
+from repro.txn.client import TxnClient
+
+
+@pytest.fixture(scope="module")
+def env():
+    cluster = SimCluster(small_setup(seed=98)).start()
+    cluster.preload()
+    cluster.warm_caches()
+    return cluster, cluster.add_client("misuse")
+
+
+def test_write_after_commit_rejected(env):
+    cluster, handle = env
+
+    def txn():
+        ctx = yield from handle.txn.begin()
+        handle.txn.write(ctx, TABLE, row_key(1), "v")
+        yield from handle.txn.commit(ctx, wait_flush=True)
+        return ctx
+
+    ctx = cluster.run(txn())
+    with pytest.raises(InvalidTxnState):
+        handle.txn.write(ctx, TABLE, row_key(2), "late")
+
+
+def test_read_after_abort_rejected(env):
+    cluster, handle = env
+
+    def txn():
+        ctx = yield from handle.txn.begin()
+        yield from handle.txn.abort(ctx)
+        return ctx
+
+    ctx = cluster.run(txn())
+
+    def late_read():
+        yield from handle.txn.read(ctx, TABLE, row_key(1))
+
+    with pytest.raises(InvalidTxnState):
+        cluster.run(late_read())
+
+
+def test_double_commit_rejected(env):
+    cluster, handle = env
+
+    def txn():
+        ctx = yield from handle.txn.begin()
+        handle.txn.write(ctx, TABLE, row_key(3), "v")
+        yield from handle.txn.commit(ctx, wait_flush=True)
+        yield from handle.txn.commit(ctx)
+
+    with pytest.raises(InvalidTxnState):
+        cluster.run(txn())
+
+
+def test_abort_after_commit_rejected(env):
+    cluster, handle = env
+
+    def txn():
+        ctx = yield from handle.txn.begin()
+        handle.txn.write(ctx, TABLE, row_key(4), "v")
+        yield from handle.txn.commit(ctx, wait_flush=True)
+        yield from handle.txn.abort(ctx)
+
+    with pytest.raises(InvalidTxnState):
+        cluster.run(txn())
+
+
+def test_unknown_durability_mode_rejected(env):
+    cluster, handle = env
+    with pytest.raises(ValueError):
+        TxnClient(handle.node, handle.kv, durability="best-effort")
+
+
+def test_delete_then_read_sees_tombstone(env):
+    cluster, handle = env
+
+    def setup():
+        ctx = yield from handle.txn.begin()
+        handle.txn.write(ctx, TABLE, row_key(5), "present")
+        yield from handle.txn.commit(ctx, wait_flush=True)
+
+    cluster.run(setup())
+
+    def delete():
+        ctx = yield from handle.txn.begin()
+        handle.txn.delete(ctx, TABLE, row_key(5))
+        # Read-your-own-delete within the transaction:
+        own = yield from handle.txn.read(ctx, TABLE, row_key(5))
+        yield from handle.txn.commit(ctx, wait_flush=True)
+        return own
+
+    assert cluster.run(delete()) is None
+
+    def read_after():
+        ctx = yield from handle.txn.begin()
+        return (yield from handle.txn.read(ctx, TABLE, row_key(5)))
+
+    assert cluster.run(read_after()) is None

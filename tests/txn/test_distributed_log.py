@@ -1,0 +1,147 @@
+"""Tests for the distributed (sharded) recovery log."""
+
+import pytest
+
+from repro import ClusterConfig, SimCluster, TABLE
+from repro.config import TxnSettings
+from repro.kvstore.keys import row_key
+from repro.sim import Kernel, Network, Node
+from repro.txn.log import LogRecord
+from repro.txn.loggers import DistributedRecoveryLog, LoggerShard
+
+
+@pytest.fixture
+def shard_env():
+    k = Kernel(seed=95)
+    net = Network(k)
+    settings = TxnSettings(group_commit_interval=0.001)
+    shards = [LoggerShard(k, net, f"log{i}", settings=settings) for i in range(3)]
+    tm = Node(k, net, "tm")
+    log = DistributedRecoveryLog(tm, [s.addr for s in shards], settings)
+    return k, shards, tm, log
+
+
+def record(ts, client="c", n=1):
+    return LogRecord(ts, client, {"t": [(f"r{i}", "f", ts, "v") for i in range(n)]},
+                     nbytes=96 * n)
+
+
+def append_all(k, log, records):
+    events = [log.append(r) for r in records]
+
+    def waiter():
+        yield k.all_of(events)
+
+    k.run_until_complete(k.process(waiter()))
+
+
+def run(k, gen):
+    return k.run_until_complete(k.process(gen))
+
+
+def test_records_stripe_across_shards(shard_env):
+    k, shards, _tm, log = shard_env
+    append_all(k, log, [record(ts) for ts in range(1, 31)])
+    lengths = [len(s._records) for s in shards]
+    assert sum(lengths) == 30
+    assert all(length == 10 for length in lengths)  # ts % 3 striping
+
+
+def test_fetch_merges_in_timestamp_order(shard_env):
+    k, _shards, _tm, log = shard_env
+    append_all(k, log, [record(ts) for ts in range(1, 21)])
+    got = run(k, log.fetch_gen(after_ts=5))
+    assert [r.commit_ts for r in got] == list(range(6, 21))
+
+
+def test_fetch_filters_by_client(shard_env):
+    k, _shards, _tm, log = shard_env
+    records = [record(ts, client=("a" if ts % 2 else "b")) for ts in range(1, 11)]
+    append_all(k, log, records)
+    got = run(k, log.fetch_gen(after_ts=0, client_id="a"))
+    assert [r.commit_ts for r in got] == [1, 3, 5, 7, 9]
+
+
+def test_truncate_broadcasts(shard_env):
+    k, shards, _tm, log = shard_env
+    append_all(k, log, [record(ts) for ts in range(1, 31)])
+    dropped = run(k, log.truncate_gen(up_to_ts=16))
+    assert dropped == 15
+    got = run(k, log.fetch_gen(after_ts=0))
+    assert [r.commit_ts for r in got] == list(range(16, 31))
+
+
+def test_duplicate_batch_delivery_deduplicated(shard_env):
+    k, shards, tm, _log = shard_env
+
+    def deliver_twice():
+        wire = [record(5).to_wire()]
+        yield tm.call("log0", "shard_append", records=wire)
+        yield tm.call("log0", "shard_append", records=wire)
+
+    run(k, deliver_twice())
+    assert len(shards[0]._records) == 1
+
+
+def test_stats_aggregate(shard_env):
+    k, _shards, _tm, log = shard_env
+    append_all(k, log, [record(ts) for ts in range(1, 13)])
+    stats = run(k, log.stats_gen())
+    assert stats["length"] == 12
+    assert len(stats["shards"]) == 3
+
+
+class TestClusterWithShardedLog:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        config = ClusterConfig(seed=96)
+        config.workload.n_rows = 2000
+        config.txn.log_shards = 2
+        config.kv.wal_sync_interval = 300.0
+        cluster = SimCluster(config).start()
+        cluster.preload()
+        cluster.warm_caches()
+        return cluster
+
+    def test_commits_flow_through_shards(self, cluster):
+        handle = cluster.add_client()
+
+        def txn():
+            ctx = yield from handle.txn.begin()
+            handle.txn.write(ctx, TABLE, row_key(1), "sharded")
+            yield from handle.txn.commit(ctx, wait_flush=True)
+            return ctx
+
+        ctx = cluster.run(txn())
+        assert ctx.commit_ts is not None
+        stats = cluster.tm_stats()
+        assert stats["log_appended"] >= 1
+
+        def read():
+            c2 = yield from handle.txn.begin()
+            return (yield from handle.txn.read(c2, TABLE, row_key(1)))
+
+        assert cluster.run(read()) == "sharded"
+
+    def test_recovery_fetches_across_shards(self, cluster):
+        handle = cluster.clients[0]
+        rows = list(range(0, 2000, 59))
+
+        def write():
+            ctx = yield from handle.txn.begin()
+            for i in rows:
+                handle.txn.write(ctx, TABLE, row_key(i), f"sh-{i}")
+            yield from handle.txn.commit(ctx, wait_flush=True)
+
+        cluster.run(write())
+        cluster.crash_server(0)
+        cluster.run_until(cluster.kernel.now + 15.0)
+        status = cluster.cluster_status()
+        assert all(status["online"].values())
+
+        def read(i):
+            c2 = yield from handle.txn.begin()
+            return (yield from handle.txn.read(c2, TABLE, row_key(i)))
+
+        for i in rows:
+            assert cluster.run(read(i)) == f"sh-{i}"

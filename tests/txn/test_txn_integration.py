@@ -1,0 +1,167 @@
+"""End-to-end transaction tests on a small full cluster."""
+
+import pytest
+
+from repro import SimCluster, TABLE, small_setup
+from repro.errors import TxnConflict
+from repro.kvstore.keys import row_key
+from repro.txn.context import ABORTED, COMMITTED, FLUSHED
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    c = SimCluster(small_setup(seed=11))
+    c.start()
+    c.preload()
+    c.warm_caches()
+    return c
+
+
+@pytest.fixture(scope="module")
+def client(cluster):
+    return cluster.add_client("tc")
+
+
+def test_begin_assigns_snapshot(cluster, client):
+    ctx = cluster.run(client.txn.begin())
+    assert ctx.start_ts >= 0
+    assert ctx.active
+
+
+def test_read_preloaded_value(cluster, client):
+    def txn():
+        ctx = yield from client.txn.begin()
+        value = yield from client.txn.read(ctx, TABLE, row_key(42))
+        yield from client.txn.abort(ctx)
+        return value
+
+    assert cluster.run(txn()) == "init-42"
+
+
+def test_read_your_own_writes(cluster, client):
+    def txn():
+        ctx = yield from client.txn.begin()
+        client.txn.write(ctx, TABLE, row_key(1), "mine")
+        value = yield from client.txn.read(ctx, TABLE, row_key(1))
+        yield from client.txn.abort(ctx)
+        return value
+
+    assert cluster.run(txn()) == "mine"
+
+
+def test_commit_then_later_snapshot_sees_it(cluster, client):
+    def writer():
+        ctx = yield from client.txn.begin()
+        client.txn.write(ctx, TABLE, row_key(7), "updated")
+        yield from client.txn.commit(ctx, wait_flush=True)
+        return ctx
+
+    ctx = cluster.run(writer())
+    assert ctx.state == FLUSHED
+    assert ctx.commit_ts > ctx.start_ts
+
+    def reader():
+        ctx2 = yield from client.txn.begin()
+        value = yield from client.txn.read(ctx2, TABLE, row_key(7))
+        return value
+
+    assert cluster.run(reader()) == "updated"
+
+
+def test_aborted_txn_leaves_no_trace(cluster, client):
+    def txn():
+        ctx = yield from client.txn.begin()
+        client.txn.write(ctx, TABLE, row_key(8), "never")
+        yield from client.txn.abort(ctx)
+        return ctx
+
+    ctx = cluster.run(txn())
+    assert ctx.state == ABORTED
+
+    def reader():
+        ctx2 = yield from client.txn.begin()
+        return (yield from client.txn.read(ctx2, TABLE, row_key(8)))
+
+    assert cluster.run(reader()) == "init-8"
+
+
+def test_write_write_conflict_aborts_second(cluster, client):
+    def interleaved():
+        a = yield from client.txn.begin()
+        b = yield from client.txn.begin()  # same snapshot as a
+        client.txn.write(a, TABLE, row_key(9), "from-a")
+        client.txn.write(b, TABLE, row_key(9), "from-b")
+        yield from client.txn.commit(a, wait_flush=True)
+        try:
+            yield from client.txn.commit(b, wait_flush=True)
+        except TxnConflict as exc:
+            return ("conflict", exc.txn_id, b.state)
+        return ("no conflict",)
+
+    result = cluster.run(interleaved())
+    assert result[0] == "conflict"
+    assert result[2] == ABORTED
+
+
+def test_read_only_commit_needs_no_flush(cluster, client):
+    def txn():
+        ctx = yield from client.txn.begin()
+        yield from client.txn.read(ctx, TABLE, row_key(3))
+        yield from client.txn.commit(ctx)
+        return ctx
+
+    ctx = cluster.run(txn())
+    assert ctx.state == COMMITTED
+    assert ctx.commit_ts == ctx.start_ts  # no new timestamp consumed
+
+
+def test_commit_returns_before_flush_completes(cluster, client):
+    """The paper's headline: commit latency excludes the store flush."""
+
+    def txn():
+        ctx = yield from client.txn.begin()
+        client.txn.write(ctx, TABLE, row_key(11), "deferred")
+        yield from client.txn.commit(ctx)  # no wait_flush
+        return ctx
+
+    ctx = cluster.run(txn())
+    assert ctx.state == COMMITTED  # not yet FLUSHED
+    cluster.run_until(cluster.kernel.now + 1.0)
+    assert ctx.state == FLUSHED  # the background flush finished
+
+
+def test_multi_row_txn_spans_regions(cluster, client):
+    n = cluster.config.workload.n_rows
+
+    def txn():
+        ctx = yield from client.txn.begin()
+        for i in (0, n // 2, n - 1):  # first, middle, last region
+            client.txn.write(ctx, TABLE, row_key(i), f"span-{i}")
+        yield from client.txn.commit(ctx, wait_flush=True)
+        return ctx
+
+    ctx = cluster.run(txn())
+
+    def reader():
+        ctx2 = yield from client.txn.begin()
+        out = []
+        for i in (0, n // 2, n - 1):
+            out.append((yield from client.txn.read(ctx2, TABLE, row_key(i))))
+        return out
+
+    assert cluster.run(reader()) == [f"span-{i}" for i in (0, n // 2, n - 1)]
+
+
+def test_tracker_advances_tf_after_flush(cluster, client):
+    def txn():
+        ctx = yield from client.txn.begin()
+        client.txn.write(ctx, TABLE, row_key(5), "tf-test")
+        yield from client.txn.commit(ctx, wait_flush=True)
+        return ctx
+
+    ctx = cluster.run(txn())
+    # Heartbeat interval is 1 s; wait two beats.
+    cluster.run_until(cluster.kernel.now + 2.5)
+    assert client.agent.tf >= ctx.commit_ts
+    status = cluster.rm_status()
+    assert status["global_tf"] >= ctx.commit_ts

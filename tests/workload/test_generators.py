@@ -1,0 +1,75 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.config import WorkloadSettings
+from repro.kvstore.keys import row_key
+from repro.sim.rng import SeededRng
+from repro.workload import READ, UPDATE, TransactionGenerator, make_key_chooser
+
+
+def settings(**kw):
+    base = dict(n_rows=1000, ops_per_txn=10, read_fraction=0.5, distribution="uniform")
+    base.update(kw)
+    return WorkloadSettings(**base)
+
+
+class TestKeyChoosers:
+    def test_uniform_keys_in_domain(self):
+        chooser = make_key_chooser(settings(), SeededRng(1))
+        keys = {chooser() for _ in range(2000)}
+        assert all(row_key(0) <= k <= row_key(999) for k in keys)
+        assert len(keys) > 500  # uniform over 1000 rows
+
+    def test_zipfian_keys_skewed(self):
+        chooser = make_key_chooser(
+            settings(distribution="zipfian", zipf_theta=0.99), SeededRng(2)
+        )
+        counts = {}
+        for _ in range(5000):
+            k = chooser()
+            counts[k] = counts.get(k, 0) + 1
+        top = max(counts.values())
+        assert top > 5000 * 0.02  # the hottest key is genuinely hot
+        assert len(counts) < 1000  # far from uniform coverage
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            make_key_chooser(settings(distribution="pareto"), SeededRng(3))
+
+    def test_deterministic_per_seed(self):
+        a = make_key_chooser(settings(), SeededRng(7))
+        b = make_key_chooser(settings(), SeededRng(7))
+        assert [a() for _ in range(100)] == [b() for _ in range(100)]
+
+
+class TestTransactionGenerator:
+    def test_ops_per_txn(self):
+        gen = TransactionGenerator(settings(), SeededRng(4))
+        txn = gen.next_txn()
+        assert len(txn.ops) == 10
+        assert txn.n_reads + txn.n_updates == 10
+
+    def test_distinct_rows_within_txn(self):
+        gen = TransactionGenerator(settings(n_rows=20), SeededRng(5))
+        for _ in range(50):
+            txn = gen.next_txn()
+            rows = [row for _k, row in txn.ops]
+            assert len(set(rows)) == len(rows)
+
+    def test_read_ratio_near_half(self):
+        gen = TransactionGenerator(settings(), SeededRng(6))
+        reads = sum(t.n_reads for t in (gen.next_txn() for _ in range(500)))
+        assert 0.45 < reads / 5000 < 0.55
+
+    def test_read_only_txn_possible_with_full_read_fraction(self):
+        gen = TransactionGenerator(settings(read_fraction=1.0), SeededRng(7))
+        txn = gen.next_txn()
+        assert txn.read_only
+        assert all(kind == READ for kind, _row in txn.ops)
+
+    def test_update_only(self):
+        gen = TransactionGenerator(settings(read_fraction=0.0), SeededRng(8))
+        txn = gen.next_txn()
+        assert all(kind == UPDATE for kind, _row in txn.ops)
+        assert txn.n_updates == 10

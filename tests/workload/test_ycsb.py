@@ -1,0 +1,137 @@
+"""Tests for the YCSB core workload mixes."""
+
+import pytest
+
+from repro import ClusterConfig, SimCluster
+from repro.config import WorkloadSettings
+from repro.errors import ReproError
+from repro.kvstore.keys import row_key
+from repro.sim.rng import SeededRng
+from repro.workload import WORKLOADS, KeySpace, WorkloadDriver, YcsbGenerator, YcsbMix
+from repro.workload.ycsb import INSERT, READ, RMW, SCAN, UPDATE
+
+
+def settings(**kw):
+    base = dict(n_rows=1000, ops_per_txn=10)
+    base.update(kw)
+    return WorkloadSettings(**base)
+
+
+def op_histogram(mix_name, n_txns=300, seed=10):
+    gen = YcsbGenerator(WORKLOADS[mix_name], settings(), SeededRng(seed))
+    counts = {}
+    for _ in range(n_txns):
+        for kind, _row, _len in gen.next_txn():
+            counts[kind] = counts.get(kind, 0) + 1
+    total = sum(counts.values())
+    return {k: v / total for k, v in counts.items()}, gen
+
+
+class TestMixProportions:
+    def test_workload_a_is_half_and_half(self):
+        hist, _gen = op_histogram("A")
+        assert 0.45 < hist[READ] < 0.55
+        assert 0.45 < hist[UPDATE] < 0.55
+
+    def test_workload_b_is_read_heavy(self):
+        hist, _gen = op_histogram("B")
+        assert hist[READ] > 0.9
+        assert 0.0 < hist.get(UPDATE, 0) < 0.1
+
+    def test_workload_c_is_read_only(self):
+        hist, _gen = op_histogram("C")
+        assert hist == {READ: 1.0}
+
+    def test_workload_d_inserts_extend_key_space(self):
+        hist, gen = op_histogram("D")
+        assert hist.get(INSERT, 0) > 0.02
+        assert gen.key_space.inserted > 0
+        assert gen.key_space.size == 1000 + gen.key_space.inserted
+
+    def test_workload_e_scans(self):
+        hist, _gen = op_histogram("E")
+        assert hist[SCAN] > 0.9
+
+    def test_workload_f_rmw(self):
+        hist, _gen = op_histogram("F")
+        assert 0.4 < hist.get(RMW, 0) < 0.6
+
+    def test_invalid_proportions_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbMix("broken", read=0.5, update=0.2).validate()
+
+
+class TestDistributions:
+    def test_latest_prefers_recent_keys(self):
+        ks = KeySpace(initial=1000)
+        gen = YcsbGenerator(WORKLOADS["D"], settings(), SeededRng(3), key_space=ks)
+        for _ in range(100):
+            gen.next_txn()  # grow the frontier via inserts
+        recent = 0
+        samples = 0
+        frontier = ks.size
+        for _ in range(50):
+            for kind, row, _l in gen.next_txn():
+                if kind == READ:
+                    samples += 1
+                    if int(row[4:]) > frontier - 100:
+                        recent += 1
+        assert samples > 0
+        assert recent / samples > 0.5  # strongly skewed to the newest keys
+
+    def test_shared_key_space_across_generators(self):
+        ks = KeySpace(initial=10)
+        g1 = YcsbGenerator(WORKLOADS["D"], settings(n_rows=10), SeededRng(4), key_space=ks)
+        g2 = YcsbGenerator(WORKLOADS["D"], settings(n_rows=10), SeededRng(5), key_space=ks)
+        keys = set()
+        for gen in (g1, g2) * 20:
+            for kind, row, _l in gen.next_txn():
+                if kind == INSERT:
+                    assert row not in keys  # inserts never collide
+                    keys.add(row)
+
+
+class TestDriverIntegration:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        config = ClusterConfig(seed=107)
+        config.workload.n_rows = 3000
+        config.workload.n_clients = 8
+        config.workload.ops_per_txn = 5
+        cluster = SimCluster(config).start()
+        cluster.preload()
+        cluster.warm_caches()
+        return cluster
+
+    @pytest.mark.parametrize("mix", ["A", "B", "C", "F"])
+    def test_core_mixes_run_clean(self, cluster, mix):
+        driver = WorkloadDriver(cluster, mix=mix)
+        result = driver.run(duration=4.0, target_tps=60.0)
+        assert result.committed > 100
+        assert result.failed == 0
+
+    def test_workload_d_inserts_become_readable(self, cluster):
+        driver = WorkloadDriver(cluster, mix="D")
+        result = driver.run(duration=4.0, target_tps=60.0)
+        assert result.committed > 100
+        assert driver._key_space.inserted > 0
+        # A freshly inserted key is readable at the latest snapshot.
+        handle = driver.handles[0]
+        inserted_key = row_key(cluster.config.workload.n_rows)  # first insert
+
+        def read():
+            ctx = yield from handle.txn.begin()
+            return (yield from handle.txn.read(ctx, "usertable", inserted_key))
+
+        assert cluster.run(read()) is not None
+
+    def test_workload_e_scans_run(self, cluster):
+        config = cluster.config
+        driver = WorkloadDriver(cluster, mix="E")
+        result = driver.run(duration=3.0, target_tps=20.0)
+        assert result.committed > 30
+        assert result.failed == 0
+
+    def test_unknown_mix_rejected(self, cluster):
+        with pytest.raises(ReproError):
+            WorkloadDriver(cluster, mix="Z")

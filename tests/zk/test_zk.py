@@ -1,0 +1,167 @@
+"""Unit and integration tests for the coordination service."""
+
+import pytest
+
+from repro.config import ZkSettings
+from repro.errors import RemoteError
+from repro.sim import Kernel, Network, Node
+from repro.zk import ZkClient, ZkService, ZkWatcherMixin
+
+
+class WatcherNode(ZkWatcherMixin, Node):
+    """A host node capable of receiving watch events."""
+
+
+@pytest.fixture
+def zk_env():
+    k = Kernel(seed=2)
+    net = Network(k)
+    service = ZkService(k, net, settings=ZkSettings(session_timeout=2.0, tick_interval=0.25))
+    host = WatcherNode(k, net, "host")
+    client = ZkClient(host, ping_interval=0.5)
+    return k, net, service, host, client
+
+
+def run(k, gen):
+    return k.run_until_complete(k.process(gen))
+
+
+def test_create_get_roundtrip(zk_env):
+    k, _net, _svc, _host, client = zk_env
+    run(k, client.create("/a", data={"x": 1}))
+    node = run(k, client.get("/a"))
+    assert node["data"] == {"x": 1}
+    assert node["version"] == 0
+
+
+def test_set_bumps_version(zk_env):
+    k, _net, _svc, _host, client = zk_env
+    run(k, client.create("/a", data=1))
+    v = run(k, client.set_data("/a", 2))
+    assert v == 1
+    assert run(k, client.get("/a"))["data"] == 2
+
+
+def test_conditional_set_enforces_version(zk_env):
+    k, _net, _svc, _host, client = zk_env
+    run(k, client.create("/a", data=1))
+    run(k, client.set_data("/a", 2, version=0))
+    with pytest.raises(RemoteError, match="BadVersion"):
+        run(k, client.set_data("/a", 3, version=0))
+
+
+def test_duplicate_create_fails(zk_env):
+    k, _net, _svc, _host, client = zk_env
+    run(k, client.create("/a"))
+    with pytest.raises(RemoteError, match="NodeExists"):
+        run(k, client.create("/a"))
+
+
+def test_get_missing_fails(zk_env):
+    k, _net, _svc, _host, client = zk_env
+    with pytest.raises(RemoteError, match="NoNode"):
+        run(k, client.get("/missing"))
+
+
+def test_sequential_create_appends_counter(zk_env):
+    k, _net, _svc, _host, client = zk_env
+    p1 = run(k, client.create("/q/item-", sequential=True))
+    p2 = run(k, client.create("/q/item-", sequential=True))
+    assert p1 == "/q/item-0000000000"
+    assert p2 == "/q/item-0000000001"
+
+
+def test_get_children(zk_env):
+    k, _net, _svc, _host, client = zk_env
+    for p in ("/servers/s1", "/servers/s2", "/servers/s2/sub", "/other"):
+        run(k, client.create(p))
+    children = run(k, client.get_children("/servers"))
+    assert children == ["/servers/s1", "/servers/s2"]
+
+
+def test_multi_get(zk_env):
+    k, _net, _svc, _host, client = zk_env
+    run(k, client.create("/a", data=1))
+    result = run(k, client.multi_get(["/a", "/missing"]))
+    assert result[0]["data"] == 1
+    assert result[1] is None
+
+
+def test_ephemeral_removed_on_session_expiry(zk_env):
+    k, _net, _svc, host, client = zk_env
+    run(k, client.start_session())
+    run(k, client.create("/live/host", ephemeral=True))
+    assert run(k, client.exists("/live/host")) is True
+    host.crash()  # ping loop dies with the host
+    k.run(until=k.now + 5.0)
+    # Query from a fresh node since the host is dead.
+    probe = WatcherNode(k, _net, "probe")
+    probe_client = ZkClient(probe)
+    assert run(k, probe_client.exists("/live/host")) is False
+
+
+def test_ephemeral_removed_on_clean_close(zk_env):
+    k, _net, _svc, _host, client = zk_env
+    run(k, client.start_session())
+    run(k, client.create("/live/x", ephemeral=True))
+    run(k, client.close_session())
+    assert run(k, client.exists("/live/x")) is False
+
+
+def test_session_survives_with_pings(zk_env):
+    k, _net, _svc, _host, client = zk_env
+    run(k, client.start_session())
+    run(k, client.create("/live/x", ephemeral=True))
+    k.run(until=k.now + 10.0)  # many session_timeouts, but pings flow
+    assert run(k, client.exists("/live/x")) is True
+
+
+def test_data_watch_fires_on_change(zk_env):
+    k, _net, _svc, _host, client = zk_env
+    events = []
+    client.on_watch("/w", lambda path, event: events.append((path, event, k.now)))
+    run(k, client.create("/w", data=1))
+    run(k, client.get("/w", watch=True))
+    run(k, client.set_data("/w", 2))
+    k.run(until=k.now + 0.1)
+    assert events and events[0][1] == "changed"
+
+
+def test_watch_is_one_shot(zk_env):
+    k, _net, _svc, _host, client = zk_env
+    events = []
+    client.on_watch("/w", lambda path, event: events.append(event))
+    run(k, client.create("/w", data=1))
+    run(k, client.get("/w", watch=True))
+    run(k, client.set_data("/w", 2))
+    run(k, client.set_data("/w", 3))  # no re-arm: must not fire again
+    k.run(until=k.now + 0.1)
+    assert events == ["changed"]
+
+
+def test_child_watch_fires_on_new_child(zk_env):
+    k, _net, _svc, _host, client = zk_env
+    events = []
+    client.on_watch("/group", lambda path, event: events.append(event))
+    run(k, client.create("/group"))
+    run(k, client.get_children("/group", watch=True))
+    run(k, client.create("/group/member1"))
+    k.run(until=k.now + 0.1)
+    assert events == ["child"]
+
+
+def test_exists_watch_fires_on_delete(zk_env):
+    k, _net, _svc, _host, client = zk_env
+    events = []
+    client.on_watch("/e", lambda path, event: events.append(event))
+    run(k, client.create("/e"))
+    run(k, client.exists("/e", watch=True))
+    run(k, client.delete("/e"))
+    k.run(until=k.now + 0.1)
+    assert events == ["deleted"]
+
+
+def test_ephemeral_create_without_session_fails(zk_env):
+    k, _net, _svc, _host, client = zk_env
+    with pytest.raises(Exception):
+        run(k, client.create("/x", ephemeral=True))
