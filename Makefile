@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper examples demo clean
+.PHONY: install test chaos bench bench-paper examples demo clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -12,6 +12,9 @@ test:
 
 test-verbose:
 	$(PYTHON) -m pytest tests/ -v
+
+chaos:
+	$(PYTHON) -m repro chaos --seeds 20
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

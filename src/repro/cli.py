@@ -1,11 +1,12 @@
 """Command-line interface: run the simulated system from a terminal.
 
-Three subcommands cover the common exploration paths without writing any
+Four subcommands cover the common exploration paths without writing any
 code::
 
     python -m repro demo                         # commit, crash, recover
     python -m repro workload --mix A --tps 200   # run a YCSB mix
     python -m repro failover --crash-at 40       # Figure-3-style timeline
+    python -m repro chaos --seeds 8              # seed-swept fault storms
 
 Every run prints its configuration and a deterministic seed, so anything
 seen here can be reproduced exactly.
@@ -74,11 +75,14 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print("crashing rs0 ...")
     cluster.crash_server(0)
     cluster.run_until(cluster.kernel.now + 15.0)
-    rm = cluster.rm_status()
-    print(
-        f"recovered: {rm['server_region_recoveries']} regions, "
-        f"{rm['replayed_fragments']} fragments replayed"
-    )
+    if args.sync_wal:
+        print("recovery middleware disabled (--sync-wal): store-level replay only")
+    else:
+        rm = cluster.rm_status()
+        print(
+            f"recovered: {rm['server_region_recoveries']} regions, "
+            f"{rm['replayed_fragments']} fragments replayed"
+        )
 
     def read(i):
         """Snapshot-read one row."""
@@ -140,6 +144,33 @@ def cmd_failover(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Seed-swept chaos storms auditing the durability guarantee."""
+    from repro.sim.chaos import run_chaos
+
+    seeds = [args.seed] if args.seed is not None else list(range(1, args.seeds + 1))
+    if not seeds:
+        print("error: --seeds must be >= 1", file=sys.stderr)
+        return 2
+    print(
+        f"chaos sweep over {len(seeds)} seed(s): loss, duplication, delay "
+        f"spikes, partitions, machine and client crashes"
+    )
+    failed = []
+    for seed in seeds:
+        report = run_chaos(seed, progress=print if args.trace else None)
+        print(report.summary())
+        for violation in report.violations:
+            print(f"  violation: {violation}")
+        if not report.ok:
+            failed.append(seed)
+    if failed:
+        print(f"FAILED seeds: {failed}")
+        return 1
+    print("all seeds upheld the guarantee")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -171,6 +202,15 @@ def build_parser() -> argparse.ArgumentParser:
     failover.add_argument("--crash-at", type=float, default=40.0)
     failover.add_argument("--tps", type=float, default=250.0)
     failover.set_defaults(func=cmd_failover)
+
+    chaos = sub.add_parser("chaos", help="seed-swept crash-recovery storms")
+    chaos.add_argument("--seeds", type=int, default=8,
+                       help="sweep seeds 1..N (default 8)")
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="run one specific seed instead of a sweep")
+    chaos.add_argument("--trace", action="store_true",
+                       help="print the fault trace as it happens")
+    chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

@@ -71,6 +71,12 @@ class SimCluster:
                 bandwidth_bytes_per_s=cfg.network.bandwidth_bytes_per_s,
             ),
         )
+        self.net.configure_chaos(
+            loss_probability=cfg.network.loss_probability,
+            duplicate_probability=cfg.network.duplicate_probability,
+            delay_spike_probability=cfg.network.delay_spike_probability,
+            delay_spike_factor=cfg.network.delay_spike_factor,
+        )
         self.zk = ZkService(self.kernel, self.net, settings=cfg.zk)
         self.namenode = NameNode(self.kernel, self.net)
 
@@ -403,6 +409,10 @@ class SimCluster:
         tracer = Tracer(capacity=capacity)
         self.net.tracer = tracer
         return tracer
+
+    def net_stats(self) -> dict:
+        """Fabric counters: traffic, chaos losses/duplicates, retries."""
+        return self.net.chaos_counters()
 
     def cluster_status(self) -> dict:
         """Assignment/liveness snapshot from the master."""

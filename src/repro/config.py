@@ -16,11 +16,20 @@ from typing import Optional
 
 @dataclass
 class NetworkSettings:
-    """One-way message delay model (switched 100 Mbps LAN)."""
+    """One-way message delay model (switched 100 Mbps LAN) plus the chaos
+    layer's fault knobs (all zero by default: a polite, loss-free LAN)."""
 
     mean_latency: float = 0.00025
     jitter_fraction: float = 0.2
     bandwidth_bytes_per_s: float = 12.5e6  # 100 Mbps
+    #: Probability that any one message vanishes in flight.
+    loss_probability: float = 0.0
+    #: Probability that any one message is delivered twice.
+    duplicate_probability: float = 0.0
+    #: Probability of a heavy-tail delay spike on one delivery.
+    delay_spike_probability: float = 0.0
+    #: Delay multiplier applied when a spike fires.
+    delay_spike_factor: float = 25.0
 
 
 @dataclass
@@ -121,6 +130,11 @@ class TxnSettings:
     #: How long committed writes stay in the certification window.  Only
     #: relevant for conflict checking, not recovery.
     certification_horizon: int = 10_000
+    #: Per-transaction commit decisions remembered for idempotent commit
+    #: handling: a retried or duplicated commit request returns the
+    #: original verdict instead of being re-certified (which would
+    #: self-conflict and double-certify).
+    commit_cache_size: int = 50_000
 
 
 @dataclass

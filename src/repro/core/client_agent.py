@@ -114,7 +114,12 @@ class ClientRecoveryAgent:
         if tracker.in_flight > self.settings.queue_alert_threshold:
             payload["alert"] = tracker.in_flight
             self.alerts_raised += 1
-        yield from self.zk.set_data(client_path(self.client_id), payload)
+        # No transport retries here: the heartbeat loop counts failed
+        # publications toward self-termination, so a partition must show
+        # up as a miss on the first timeout, not after backoff.
+        yield from self.zk.set_data(
+            client_path(self.client_id), payload, retry=False
+        )
         self.heartbeats_sent += 1
 
     def _heartbeat_loop(self):

@@ -34,27 +34,49 @@ from repro.core.paths import (
     pending_path,
 )
 from repro.core.recovery_client import RecoveryClient
+from repro.errors import RpcError, RpcTimeout
 from repro.kvstore.client import KvClient
 from repro.sim.events import Interrupt
 from repro.sim.kernel import Kernel
 from repro.sim.network import Network
 from repro.sim.node import Node
 from repro.sim.resource import Resource
+from repro.sim.retry import RetryPolicy
 from repro.zk.client import ZkClient, ZkWatcherMixin
 
 LIVE = "live"
 RECOVERING = "recovering"
 FAILED = "failed"
 
+#: Replay log fetches must survive storms: a dead recovery process would
+#: leave its client pinned RECOVERING -- and the global T_F frozen --
+#: forever, so the fetch never gives up.
+RECOVERY_FETCH_RETRY = RetryPolicy(
+    base_delay=0.5, multiplier=2.0, max_delay=2.0, jitter=0.2, max_attempts=None
+)
+
 
 class _Tracked:
     """Recovery-manager-side view of one client or server."""
 
-    __slots__ = ("threshold", "heartbeat_time", "status", "pending_regions", "floors")
+    __slots__ = (
+        "threshold",
+        "heartbeat_time",
+        "status",
+        "pending_regions",
+        "floors",
+        "incarnation",
+    )
 
-    def __init__(self, threshold: int, heartbeat_time: float) -> None:
+    def __init__(
+        self,
+        threshold: int,
+        heartbeat_time: float,
+        incarnation: Optional[int] = None,
+    ) -> None:
         self.threshold = threshold
         self.heartbeat_time = heartbeat_time
+        self.incarnation = incarnation
         self.status = LIVE
         self.pending_regions = 0  # failed servers: regions awaiting replay
         #: Replay-in-flight floors (region -> failed server's T_P): while we
@@ -102,6 +124,13 @@ class RecoveryManager(ZkWatcherMixin, Node):
         self._running = False
         #: (table, start, end) per region id, cached from the master.
         self._region_ranges: Dict[str, Tuple[str, str, Optional[str]]] = {}
+        #: (server, failover_id) hooks already processed; see
+        #: :meth:`rpc_server_failed`.
+        self._hooks_seen: set = set()
+        #: Last-known T_P of incarnations that vanished before the master's
+        #: failure hook arrived (the address may already be heartbeating
+        #: again as a fresh incarnation by then); consumed by the hook.
+        self._fallen: Dict[str, int] = {}
         self.alerts: List[dict] = []
         self.stats = {
             "client_recoveries": 0,
@@ -238,22 +267,48 @@ class RecoveryManager(ZkWatcherMixin, Node):
             server = path.rsplit("/", 1)[1]
             seen.add(server)
             data = snapshot["data"]
+            inc = data.get("inc")
             entry = self.servers.get(server)
+            if (
+                entry is not None
+                and entry.status == LIVE
+                and entry.incarnation is not None
+                and inc is not None
+                and inc != entry.incarnation
+            ):
+                # The address reincarnated between polls: its previous life
+                # died, and the master's failure hook for that death is
+                # still on its way.  Remember the dead incarnation's T_P --
+                # letting the fresh incarnation's reports overwrite it
+                # would make the coming replay start too high and skip
+                # write-sets the old life had applied but not persisted.
+                self._note_fallen(server, entry.threshold)
+                del self.servers[server]
+                entry = None
             if entry is None:
-                self.servers[server] = _Tracked(data["tp"], data["t"])
+                self.servers[server] = _Tracked(data["tp"], data["t"], inc)
             elif entry.status == LIVE:
                 # The znode read is a latest-state snapshot, so the report
                 # is authoritative; it may be *lower* than what we hold
                 # when the server inherited responsibility via a piggyback.
                 entry.threshold = data["tp"]
                 entry.heartbeat_time = max(entry.heartbeat_time, data["t"])
+                if entry.incarnation is None:
+                    entry.incarnation = inc
             if "alert" in data:
                 self.alerts.append(
                     {"component": server, "queue": data["alert"], "t": self.kernel.now}
                 )
         for server in [s for s in self.servers if s not in seen]:
             if self.servers[server].status == LIVE:
+                # Vanished znode: the session died, so this incarnation is
+                # (or is about to be) dead.  Same preservation as above.
+                self._note_fallen(server, self.servers[server].threshold)
                 del self.servers[server]
+
+    def _note_fallen(self, server: str, threshold: int) -> None:
+        prev = self._fallen.get(server)
+        self._fallen[server] = threshold if prev is None else min(prev, threshold)
 
     def _detect_client_failures(self) -> None:
         deadline = self.kernel.now - (
@@ -271,19 +326,25 @@ class RecoveryManager(ZkWatcherMixin, Node):
         if self.clients:
             tf = min(entry.threshold for entry in self.clients.values())
             self.global_tf = max(self.global_tf, tf)
-        if self.servers:
-            tp = min(entry.effective() for entry in self.servers.values())
-            self.global_tp = max(self.global_tp, tp)
+        # Fallen incarnations floor T_P until the master's failure hook
+        # arrives and pins their regions: advancing past them in the gap
+        # would let the TM truncate log records their replay still needs.
+        candidates = [entry.effective() for entry in self.servers.values()]
+        candidates.extend(self._fallen.values())
+        if candidates:
+            self.global_tp = max(self.global_tp, min(candidates))
 
     # ------------------------------------------------------------------
     # client failure recovery (Algorithm 2 "On failure(c)")
     # ------------------------------------------------------------------
     def _recover_client(self, client_id: str):
         entry = self.clients[client_id]
-        records = yield self.call(
+        records = yield from self.call_with_retry(
             self.tm_addr,
             "fetch_logs",
-            timeout=30.0,
+            policy=RECOVERY_FETCH_RETRY,
+            timeout=10.0,
+            retry_on=(RpcError,),
             after_ts=entry.threshold,
             client_id=client_id,
         )
@@ -304,9 +365,37 @@ class RecoveryManager(ZkWatcherMixin, Node):
     # ------------------------------------------------------------------
     # server failure recovery (Algorithm 4)
     # ------------------------------------------------------------------
-    def rpc_server_failed(self, sender: str, server: str, regions: List[str]):
+    def rpc_server_failed(
+        self,
+        sender: str,
+        server: str,
+        regions: List[str],
+        failover_id: Optional[int] = None,
+    ):
         """Master hook: a region server died; pin its T_P and queue its
-        regions for transactional recovery."""
+        regions for transactional recovery.
+
+        Idempotent: the master re-sends the hook when its failover was
+        interrupted part-way, so a region may arrive already pinned.  A
+        repeat pin by the *same* server is counted once; a pin held by a
+        *different* server is a cascading failure (the region failed over
+        and its new host died before the replay finished) -- the pin
+        transfers to the newly-dead server, keeping the older, lower T_P
+        so the replay still covers the first loss.
+
+        ``failover_id`` identifies the master-side failover this hook
+        belongs to.  Retried and fabric-delayed copies can arrive *after*
+        the recovery they triggered has completed; processing one then
+        would re-pin regions with no replay coming, freezing the global
+        T_P forever, so each failover is applied exactly once.
+        """
+        if failover_id is not None:
+            key = (server, failover_id)
+            if key in self._hooks_seen:
+                entry = self.servers.get(server)
+                tp = entry.threshold if entry is not None else None
+                return {"tp": tp, "regions": len(regions)}
+            self._hooks_seen.add(key)
         entry = self.servers.get(server)
         if entry is None:
             # Never heard a heartbeat from it: Algorithm 4's register rule
@@ -314,25 +403,57 @@ class RecoveryManager(ZkWatcherMixin, Node):
             entry = _Tracked(self.global_tp, self.kernel.now)
             self.servers[server] = entry
         entry.status = FAILED
+        fallen = self._fallen.pop(server, None)
+        if fallen is not None:
+            # The hook may be late: the address can already be tracked as
+            # a fresh, live incarnation.  The death being reported is the
+            # *fallen* one's, so its (lower) T_P is the truth here.
+            entry.threshold = min(entry.threshold, fallen)
         tp_failed = entry.threshold
-        entry.pending_regions += len(regions)
         for region in regions:
-            self.pending_regions[region] = (server, tp_failed)
-        self.spawn(
-            self._persist_pending_markers(server, regions, tp_failed),
-            name=f"pending-markers:{server}",
-        )
+            prev = self.pending_regions.get(region)
+            if prev is None:
+                self.pending_regions[region] = (server, tp_failed)
+                entry.pending_regions += 1
+                continue
+            prev_server, prev_tp = prev
+            self.pending_regions[region] = (server, min(tp_failed, prev_tp))
+            if prev_server != server:
+                self._release_pin(prev_server)
+                entry.pending_regions += 1
+        if entry.pending_regions <= 0:
+            # The dead server hosted nothing (e.g. a fresh restart that
+            # died before any assignment): no replay will ever run for it,
+            # so drop the entry now or it would pin the global T_P forever.
+            self.servers.pop(server, None)
+            self.spawn(
+                self._forget_server_znode(server), name=f"forget:{server}"
+            )
+        else:
+            self.spawn(
+                self._persist_pending_markers(server, regions),
+                name=f"pending-markers:{server}",
+            )
         return {"tp": tp_failed, "regions": len(regions)}
 
-    def _persist_pending_markers(self, server: str, regions: List[str], tp: int):
+    def _persist_pending_markers(self, server: str, regions: List[str]):
         for region in regions:
+            pin = self.pending_regions.get(region)
+            if pin is None:
+                continue  # recovered before we could persist the marker
+            data = {"region": region, "failed_server": pin[0], "tp": pin[1]}
             try:
-                yield from self.zk.create(
-                    pending_path(region),
-                    data={"region": region, "failed_server": server, "tp": tp},
-                )
+                yield from self.zk.create(pending_path(region), data=data)
+            except Interrupt:
+                return
             except Exception:
-                pass  # marker already there from a previous attempt
+                # Marker already there (a re-sent hook or a cascading
+                # failure): refresh it so the current pin -- server and
+                # floor -- survives a restart of ours.
+                try:
+                    yield from self.zk.set_data(pending_path(region), data)
+                except Exception:
+                    pass
 
     def rpc_recover_region(
         self, sender: str, region: str, failed_server: str, hosting_server: str
@@ -361,8 +482,13 @@ class RecoveryManager(ZkWatcherMixin, Node):
             host_entry.floors[region] = tp_failed
 
         try:
-            records = yield self.call(
-                self.tm_addr, "fetch_logs", timeout=30.0, after_ts=tp_failed
+            records = yield from self.call_with_retry(
+                self.tm_addr,
+                "fetch_logs",
+                policy=RECOVERY_FETCH_RETRY,
+                timeout=10.0,
+                retry_on=(RpcTimeout,),
+                after_ts=tp_failed,
             )
             replayed = 0
             for record in records:  # ascending commit-timestamp order
@@ -382,24 +508,41 @@ class RecoveryManager(ZkWatcherMixin, Node):
             if host_entry is not None:
                 host_entry.floors.pop(region, None)
 
-        self.pending_regions.pop(region, None)
-        try:
-            yield from self.zk.delete(pending_path(region))
-        except Exception:
-            pass
-        pinned = self.servers.get(pinned_server)
-        if pinned is not None:
-            pinned.pending_regions -= 1
-            if pinned.pending_regions <= 0 and pinned.status == FAILED:
-                # All of the dead server's regions are recovered: it no
-                # longer constrains the global T_P.
-                self.servers.pop(pinned_server, None)
-                try:
-                    yield from self.zk.delete(f"{SERVERS_DIR}/{pinned_server}")
-                except Exception:
-                    pass
+        # Clear the pin -- unless it transferred while we were replaying
+        # (the hosting server died mid-replay and the region was re-pinned
+        # to it): then the region still needs a fresh recovery pass and
+        # our pin was already released by the transfer.
+        current = self.pending_regions.get(region)
+        if current is not None and current[0] == pinned_server:
+            self.pending_regions.pop(region, None)
+            try:
+                yield from self.zk.delete(pending_path(region))
+            except Exception:
+                pass
+            self._release_pin(pinned_server)
         self.stats["server_region_recoveries"] += 1
         return {"replayed": replayed}
+
+    def _release_pin(self, pinned_server: str) -> None:
+        """One of ``pinned_server``'s pending regions stopped pinning it."""
+        pinned = self.servers.get(pinned_server)
+        if pinned is None:
+            return
+        pinned.pending_regions -= 1
+        if pinned.pending_regions <= 0 and pinned.status == FAILED:
+            # All of the dead server's regions are recovered: it no
+            # longer constrains the global T_P.
+            self.servers.pop(pinned_server, None)
+            self.spawn(
+                self._forget_server_znode(pinned_server),
+                name=f"forget:{pinned_server}",
+            )
+
+    def _forget_server_znode(self, server: str):
+        try:
+            yield from self.zk.delete(f"{SERVERS_DIR}/{server}")
+        except Exception:
+            pass
 
     def _region_range(self, region: str):
         # Always refetch: region boundaries change under splits, and a
@@ -424,6 +567,12 @@ class RecoveryManager(ZkWatcherMixin, Node):
             "clients": {c: e.threshold for c, e in self.clients.items()},
             "servers": {s: e.threshold for s, e in self.servers.items()},
             "pending_regions": dict(self.pending_regions),
+            "recovering": sorted(
+                name
+                for tracked in (self.clients, self.servers)
+                for name, e in tracked.items()
+                if e.status != LIVE
+            ),
             "alerts": len(self.alerts),
             **self.stats,
         }

@@ -21,10 +21,18 @@ from typing import Optional
 from repro.config import RecoverySettings
 from repro.core.paths import GLOBAL_PATH, server_path
 from repro.core.tracking import PersistTracker
-from repro.errors import RpcError
+from repro.errors import NoNode, RemoteError, RpcError
 from repro.kvstore.regionserver import RegionServer
 from repro.sim.events import Interrupt
 from repro.sim.resource import Resource
+from repro.sim.retry import RetryPolicy
+
+#: The region-opening gate must outlive a recovery-manager restart, so it
+#: never gives up; backoff caps quickly because the blocked region is
+#: unavailable for reads the whole time.
+REGION_GATE_RETRY = RetryPolicy(
+    base_delay=0.5, multiplier=1.5, max_delay=2.0, jitter=0.2, max_attempts=None
+)
 
 
 class ServerRecoveryAgent:
@@ -76,19 +84,17 @@ class ServerRecoveryAgent:
         Retries indefinitely: the recovery manager may itself be down and
         restarting, and the region must not come online without it.
         """
-        while True:
-            try:
-                result = yield self.server.call(
-                    self.rm_addr,
-                    "recover_region",
-                    timeout=60.0,
-                    region=region_id,
-                    failed_server=failed_server,
-                    hosting_server=self.server.addr,
-                )
-                return result
-            except RpcError:
-                yield self.server.sleep(0.5)
+        result = yield from self.server.call_with_retry(
+            self.rm_addr,
+            "recover_region",
+            policy=REGION_GATE_RETRY,
+            timeout=20.0,
+            retry_on=(RpcError,),
+            region=region_id,
+            failed_server=failed_server,
+            hosting_server=self.server.addr,
+        )
+        return result
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -135,7 +141,7 @@ class ServerRecoveryAgent:
         try:
             tf_global = None
             try:
-                node = yield from self.server.zk.get(GLOBAL_PATH)
+                node = yield from self.server.zk.get(GLOBAL_PATH, retry=False)
                 tf_global = node["data"].get("tf", 0)
             except Exception:
                 tf_global = None  # recovery manager state not published yet
@@ -162,7 +168,21 @@ class ServerRecoveryAgent:
             if self.tracker.pending > self.settings.queue_alert_threshold:
                 payload["alert"] = self.tracker.pending
                 self.alerts_raised += 1
-            yield from self.server.zk.set_data(server_path(self.server.addr), payload)
+            # Heartbeats are the liveness probe; publish without retries so
+            # a partition surfaces on the first timeout.
+            try:
+                yield from self.server.zk.set_data(
+                    server_path(self.server.addr), payload, retry=False
+                )
+            except RemoteError as exc:
+                if not exc.carries(NoNode):
+                    raise
+                # The recovery manager garbage-collects the znode once a
+                # previous incarnation's regions are all recovered; we are
+                # the next incarnation, so re-register.
+                yield from self.server.zk.create(
+                    server_path(self.server.addr), data=payload
+                )
             self.heartbeats_sent += 1
         finally:
             self._hb_lock.release()
@@ -186,4 +206,11 @@ class ServerRecoveryAgent:
             return
 
     def _payload(self) -> dict:
-        return {"tp": self.tracker.report_value(), "t": self.server.kernel.now}
+        # ``inc`` distinguishes incarnations of a reused address: the
+        # recovery manager must not let a restarted server's fresh
+        # heartbeats overwrite the T_P its previous life died with.
+        return {
+            "tp": self.tracker.report_value(),
+            "t": self.server.kernel.now,
+            "inc": self.server.incarnation,
+        }

@@ -10,61 +10,125 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import DfsError, FileNotFound, RpcError
+from repro.errors import DfsError, FileNotFound, RpcError, RpcTimeout
 from repro.sim.node import Node
+from repro.sim.retry import RetryPolicy
 
 WireRecord = Tuple[Any, int]
+
+#: Backoff shaping for pipeline retries; the loops' ``max_attempts``
+#: arguments own the give-up rule.
+DEFAULT_DFS_RETRY = RetryPolicy(
+    base_delay=0.1, multiplier=2.0, max_delay=1.0, jitter=0.2, max_attempts=None
+)
+
+#: Namenode metadata calls are retried with a bound: they are cheap, and
+#: all of them except ``create`` are idempotent.  A permanently-unreachable
+#: namenode surfaces as :class:`RpcTimeout` instead of hanging the caller
+#: (``Node.call`` without a timeout waits forever, which under message
+#: loss would wedge region opens, WAL syncs, and log splitting).
+NAMESPACE_RETRY = RetryPolicy(
+    base_delay=0.1, multiplier=2.0, max_delay=1.0, jitter=0.2, max_attempts=8
+)
+
+#: Deadline on each namenode round trip.
+NAMENODE_TIMEOUT = 10.0
 
 
 class DfsClient:
     """Access to the simulated DFS from a host node."""
 
-    def __init__(self, host: Node, namenode: str = "namenode", replication: int = 2) -> None:
+    def __init__(
+        self,
+        host: Node,
+        namenode: str = "namenode",
+        replication: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self.host = host
         self.namenode = namenode
         self.replication = replication
+        self.retry_policy = retry_policy or DEFAULT_DFS_RETRY
         self._replica_cache: Dict[str, List[str]] = {}
+
+    def _backoff(self, attempt: int):
+        """Timeout event for the pause after ``attempt`` failed tries."""
+        self.host.net.rpc_retries += 1
+        return self.host.sleep(
+            self.retry_policy.backoff(attempt, self.host.retry_rng)
+        )
 
     # ------------------------------------------------------------------
     # namespace
     # ------------------------------------------------------------------
-    def create(self, path: str, preferred: Optional[str] = None):
-        """Create ``path``; returns its replica list.  (Generator API.)"""
-        meta = yield self.host.call(
+    def _ns_call(self, method: str, **payload):
+        """Bounded-retry namenode metadata call.  (Generator API.)"""
+        result = yield from self.host.call_with_retry(
             self.namenode,
-            "create",
-            path=path,
-            replication=self.replication,
-            preferred=preferred,
+            method,
+            policy=NAMESPACE_RETRY,
+            timeout=NAMENODE_TIMEOUT,
+            retry_on=(RpcTimeout,),
+            **payload,
         )
-        self._replica_cache[path] = meta["replicas"]
-        return meta["replicas"]
+        return result
+
+    def create(self, path: str, preferred: Optional[str] = None):
+        """Create ``path``; returns its replica list.  (Generator API.)
+
+        Create is not idempotent at the namenode (a repeat raises
+        FileAlreadyExists), so a timed-out attempt that may have executed
+        is resolved by checking for the file: DFS paths here are
+        creator-unique (per-server WALs, per-epoch recovered-edits), so
+        finding it after our own timeout means our create landed.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                meta = yield self.host.call(
+                    self.namenode,
+                    "create",
+                    timeout=NAMENODE_TIMEOUT,
+                    path=path,
+                    replication=self.replication,
+                    preferred=preferred,
+                )
+                self._replica_cache[path] = meta["replicas"]
+                return meta["replicas"]
+            except RpcTimeout:
+                if NAMESPACE_RETRY.gives_up(attempt, 0.0):
+                    raise
+                yield self._backoff(attempt)
+                if (yield from self.exists(path)):
+                    meta = yield from self.stat(path)
+                    return meta["replicas"]
 
     def exists(self, path: str):
         """Whether ``path`` exists."""
-        result = yield self.host.call(self.namenode, "exists", path=path)
+        result = yield from self._ns_call("exists", path=path)
         return result
 
     def stat(self, path: str):
         """Namenode metadata for ``path``."""
-        meta = yield self.host.call(self.namenode, "stat", path=path)
+        meta = yield from self._ns_call("stat", path=path)
         self._replica_cache[path] = meta["replicas"]
         return meta
 
     def close(self, path: str):
         """Mark ``path`` immutable."""
-        result = yield self.host.call(self.namenode, "close", path=path)
+        result = yield from self._ns_call("close", path=path)
         return result
 
     def delete(self, path: str):
         """Delete ``path`` everywhere."""
         self._replica_cache.pop(path, None)
-        result = yield self.host.call(self.namenode, "delete", path=path)
+        result = yield from self._ns_call("delete", path=path)
         return result
 
     def list_dir(self, prefix: str):
         """All paths under ``prefix``."""
-        result = yield self.host.call(self.namenode, "list_dir", prefix=prefix)
+        result = yield from self._ns_call("list_dir", prefix=prefix)
         return result
 
     # ------------------------------------------------------------------
@@ -73,9 +137,8 @@ class DfsClient:
     def _replicas(self, path: str):
         replicas = self._replica_cache.get(path)
         if replicas is None:
-            meta = yield self.host.call(self.namenode, "stat", path=path)
+            meta = yield from self.stat(path)
             replicas = meta["replicas"]
-            self._replica_cache[path] = replicas
         return replicas
 
     def _live_pipeline(self, path: str, refresh: bool = False):
@@ -92,7 +155,7 @@ class DfsClient:
 
     def append(
         self, path: str, records: List[WireRecord], durable: bool = True,
-        max_attempts: int = 10,
+        max_attempts: int = 10, min_replicas: int = 1,
     ):
         """Append records through the replica pipeline.
 
@@ -100,14 +163,22 @@ class DfsClient:
         means every *reachable* replica has the records on stable storage
         (a degraded pipeline, exactly as in HDFS; the namenode restores
         full replication in the background for closed files).
+
+        ``min_replicas`` lets durability-critical writers (the WAL) refuse
+        a pipeline degraded below a floor: 'durable' on a single replica
+        is one machine death away from silent loss.
         """
         nbytes = sum(n for _p, n in records)
+        floor = max(1, min_replicas) if durable else 1
         last_error: Optional[Exception] = None
         for attempt in range(max_attempts):
             pipeline = yield from self._live_pipeline(path, refresh=attempt > 0)
-            if not pipeline:
-                last_error = DfsError(f"{path} has no reachable replicas")
-                yield self.host.sleep(0.2)
+            if len(pipeline) < floor:
+                last_error = DfsError(
+                    f"{path} has {len(pipeline)} reachable replicas, "
+                    f"needs {floor}"
+                )
+                yield self._backoff(attempt + 1)
                 continue
             try:
                 length = yield self.host.call(
@@ -122,7 +193,7 @@ class DfsClient:
                 )
             except RpcError as exc:
                 last_error = exc
-                yield self.host.sleep(0.1)
+                yield self._backoff(attempt + 1)
                 continue
             self.host.cast(
                 self.namenode, "report_length", path=path, length=length,
@@ -131,14 +202,18 @@ class DfsClient:
             return length
         raise DfsError(f"append to {path!r} failed: {last_error!r}")
 
-    def sync(self, path: str, max_attempts: int = 10):
+    def sync(self, path: str, max_attempts: int = 10, min_replicas: int = 1):
         """Durably persist any buffered records on every reachable replica."""
+        floor = max(1, min_replicas)
         last_error: Optional[Exception] = None
         for attempt in range(max_attempts):
             pipeline = yield from self._live_pipeline(path, refresh=attempt > 0)
-            if not pipeline:
-                last_error = DfsError(f"{path} has no reachable replicas")
-                yield self.host.sleep(0.2)
+            if len(pipeline) < floor:
+                last_error = DfsError(
+                    f"{path} has {len(pipeline)} reachable replicas, "
+                    f"needs {floor}"
+                )
+                yield self._backoff(attempt + 1)
                 continue
             try:
                 result = yield self.host.call(
@@ -148,7 +223,7 @@ class DfsClient:
                 return result
             except RpcError as exc:
                 last_error = exc
-                yield self.host.sleep(0.1)
+                yield self._backoff(attempt + 1)
         raise DfsError(f"sync of {path!r} failed: {last_error!r}")
 
     def read(self, path: str, start: int = 0, count: Optional[int] = None):

@@ -153,16 +153,21 @@ class NameNode(Node):
                         continue
                     if not live:
                         continue  # all replicas lost: nothing to repair from
+                    if not meta.closed:
+                        # An open file (the active WAL) is neither pruned
+                        # nor cloned: its writer excludes unreachable
+                        # replicas from the pipeline itself and rolls to a
+                        # fresh segment when it degrades (as in
+                        # HDFS/HBase), and a temporarily-dark replica still
+                        # holds its synced prefix on disk -- forgetting it
+                        # here would lose the only copy if the survivor
+                        # dies before the roll.
+                        continue
                     meta.replicas = live  # prune dead pipelines immediately
                     candidates = [
                         dn for dn in self.live_datanodes() if dn not in live
                     ]
                     if len(live) >= meta.replication or not candidates:
-                        continue
-                    if not meta.closed:
-                        # Only immutable files are cloned; an open file
-                        # (the active WAL) keeps a degraded pipeline until
-                        # its writer rolls it, as in HDFS/HBase.
                         continue
                     target = candidates[self._placement_cursor % len(candidates)]
                     self._placement_cursor += 1

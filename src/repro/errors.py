@@ -43,6 +43,15 @@ class RemoteError(RpcError):
         self.method = method
         self.description = description
 
+    def carries(self, exc_type: type) -> bool:
+        """Whether the remote exception was of ``exc_type``.
+
+        Only the remote exception's repr crosses the wire, so this
+        matches on its type name -- the way callers discriminate remote
+        error kinds (e.g. a remote SessionExpired from a remote NoNode).
+        """
+        return self.description.startswith(exc_type.__name__ + "(")
+
 
 class NodeDown(RpcError):
     """An operation was attempted on (or by) a crashed node."""

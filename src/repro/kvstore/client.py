@@ -17,6 +17,7 @@ from repro.config import KvSettings
 from repro.errors import KvError, ReproError, RpcError
 from repro.kvstore.keys import WireCell
 from repro.sim.node import Node
+from repro.sim.retry import RetryPolicy
 
 #: Region map entry: (start, end, region_id, server).
 MapEntry = Tuple[str, Optional[str], str, Optional[str]]
@@ -30,12 +31,33 @@ class KvClient:
         host: Node,
         master: str = "master",
         settings: Optional[KvSettings] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.master = master
         self.settings = settings or KvSettings()
+        #: Backoff pacing for the routing/retry loops below.  The loops
+        #: themselves own the give-up rules (their ``max_retries``
+        #: arguments), so the policy here is unbounded and only shapes
+        #: the delays: exponential from the configured retry delay, with
+        #: jitter so concurrent clients do not retry in lockstep.
+        self.retry_policy = retry_policy or RetryPolicy(
+            base_delay=self.settings.client_retry_delay,
+            multiplier=2.0,
+            max_delay=self.settings.client_retry_delay * 4,
+            jitter=0.2,
+            max_attempts=None,
+        )
         self._region_maps: Dict[str, List[MapEntry]] = {}
         self.stats = {"gets": 0, "flush_fragments": 0, "retries": 0}
+
+    def _backoff(self, attempt: int):
+        """Timeout event for the pause after ``attempt`` failed tries."""
+        self.stats["retries"] += 1
+        self.host.net.rpc_retries += 1
+        return self.host.sleep(
+            self.retry_policy.backoff(attempt, self.host.retry_rng)
+        )
 
     # ------------------------------------------------------------------
     # region map
@@ -108,9 +130,8 @@ class KvClient:
             except (RpcError, KvError) as exc:
                 if max_retries is not None and attempt > max_retries:
                     raise KvError(f"get({row!r}) failed after {attempt} tries: {exc!r}")
-                self.stats["retries"] += 1
                 self.invalidate(table)
-                yield self.host.sleep(self.settings.client_retry_delay)
+                yield self._backoff(attempt)
 
     def scan(
         self,
@@ -164,9 +185,8 @@ class KvClient:
                 except (RpcError, KvError) as exc:
                     if max_retries is not None and attempt > max_retries:
                         raise KvError(f"scan failed after {attempt} tries: {exc!r}")
-                    self.stats["retries"] += 1
                     self.invalidate(table)
-                    yield self.host.sleep(self.settings.client_retry_delay)
+                    yield self._backoff(attempt)
             cells = [tuple(c) for c in reply["cells"]]
             out.extend(cells)
             for row, *_rest in cells:
@@ -232,9 +252,8 @@ class KvClient:
                         f"flush({region_id!r}, ts={txn_ts}) failed "
                         f"after {attempt} tries: {exc!r}"
                     )
-                self.stats["retries"] += 1
                 self.invalidate(table)
-                yield self.host.sleep(self.settings.client_retry_delay)
+                yield self._backoff(attempt)
 
     def flush_write_set(
         self,
@@ -258,8 +277,20 @@ class KvClient:
         remaining = list(cells)
         acks: Dict[str, object] = {}
         round_retries = 20 if max_retries is None else max_retries
+        rounds = 0
         while remaining:
-            groups = yield from self.group_by_region(table, remaining)
+            rounds += 1
+            try:
+                groups = yield from self.group_by_region(table, remaining)
+            except (RpcError, KvError):
+                # Region-map refresh failed (master unreachable or the map
+                # mid-change): this flush must outlive that, so back off
+                # and re-group rather than letting the round die.
+                if max_retries is not None and rounds > max_retries:
+                    raise
+                self.invalidate(table)
+                yield self._backoff(rounds)
+                continue
             procs = [
                 (
                     fragment,
@@ -279,6 +310,11 @@ class KvClient:
                 )
                 for region_id, fragment in groups.items()
             ]
+            # We collect each fragment's outcome below, but a fragment that
+            # gives up while we are still awaiting a sibling must not be
+            # escalated as an unhandled death by the kernel.
+            for _fragment, proc, _region_id in procs:
+                proc.defuse()
             failed: List[WireCell] = []
             for fragment, proc, region_id in procs:
                 try:
@@ -292,6 +328,6 @@ class KvClient:
                 )
             if failed:
                 self.invalidate(table)
-                yield self.host.sleep(self.settings.client_retry_delay)
+                yield self._backoff(rounds)
             remaining = failed
         return acks

@@ -75,16 +75,35 @@ class Master(ZkWatcherMixin, Node):
         return self
 
     def _liveness_loop(self):
+        # Failovers that raised part-way (e.g. the DFS timed out mid log
+        # split) are retried on later ticks: ``_handle_server_failure``
+        # recomputes the still-affected regions from the live assignment
+        # table, and the recovery-manager hook tolerates repeats, so a
+        # re-run finishes exactly the regions the first pass left behind.
+        # Liveness monitoring itself must survive any of this.
+        deferred: List[str] = []
         try:
             while True:
                 yield self.sleep(self.settings.master_tick)
-                children = yield from self.zk.get_children(RS_ZNODE_DIR)
+                try:
+                    children = yield from self.zk.get_children(RS_ZNODE_DIR)
+                except Interrupt:
+                    raise
+                except Exception:
+                    continue  # coordination service unreachable; next tick
                 servers = [path.rsplit("/", 1)[1] for path in children]
                 known = set(self._live_servers)
                 current = set(servers)
                 self._live_servers = servers
-                for dead in sorted(known - current):
-                    yield from self._handle_server_failure(dead)
+                pending = deferred + sorted((known - current) - set(deferred))
+                deferred = []
+                for dead in pending:
+                    try:
+                        yield from self._handle_server_failure(dead)
+                    except Interrupt:
+                        raise
+                    except Exception:
+                        deferred.append(dead)
         except Interrupt:
             return
 
@@ -335,11 +354,17 @@ class Master(ZkWatcherMixin, Node):
         for region in affected:
             self.online[region] = False
 
+        epoch = next(self._epoch)
+
         # Hook 1: tell the recovery manager which server died and which
         # regions are affected, before any region comes back.  Delivered
         # reliably: if the recovery manager is down, the affected regions
         # must stay offline until it returns (they are gated on its replay
         # anyway), so we retry rather than reassign with a lost hook.
+        # The failover id lets the recovery manager deduplicate: retries
+        # and fabric-delayed copies of this hook can arrive *after* the
+        # recovery it triggered completed, and re-pinning the regions then
+        # would freeze T_P forever.
         if self.recovery_manager is not None:
             while True:
                 try:
@@ -349,6 +374,7 @@ class Master(ZkWatcherMixin, Node):
                         timeout=2.0,
                         server=dead,
                         regions=affected,
+                        failover_id=epoch,
                     )
                     break
                 except RpcError:
@@ -358,19 +384,27 @@ class Master(ZkWatcherMixin, Node):
         edits_by_region: Dict[str, List] = {region: [] for region in affected}
         wal_paths = yield from self.dfs.list_dir(wal_dir(dead))
         for path in wal_paths:
-            try:
-                records = yield from read_wal_records(self.dfs, path)
-            except DfsError:
-                # Every replica of this WAL is unreachable (e.g. a multi-
-                # machine failure): nothing durable to split.  Whatever the
-                # store loses here is exactly what the transactional
-                # recovery middleware replays from the TM log.
+            records = None
+            for _attempt in range(15):
+                try:
+                    records = yield from read_wal_records(self.dfs, path)
+                    break
+                except DfsError:
+                    # Every listed replica is unreachable right now.  The
+                    # machines holding them come back with their disks
+                    # intact, so wait for one rather than treating durable
+                    # records as lost -- T_P has already vouched for them,
+                    # and the transaction log only covers what lies above
+                    # the failed server's threshold.
+                    yield self.sleep(1.0)
+            if records is None:
+                # Replicas truly gone (simultaneous loss of every holder,
+                # beyond the replication factor's failure model).
                 continue
             for region_id, txn_ts, cells in records:
                 if region_id in edits_by_region:
                     edits_by_region[region_id].append((region_id, txn_ts, cells))
 
-        epoch = next(self._epoch)
         recovered_paths: Dict[str, Optional[str]] = {}
         for region, edits in edits_by_region.items():
             if not edits:
@@ -388,8 +422,20 @@ class Master(ZkWatcherMixin, Node):
         # leading to parallel recovery").
         servers = [s for s in self._live_servers if s != dead]
         while not servers:
+            # ``self._live_servers`` is maintained by the liveness loop,
+            # which is blocked behind this very failover -- poll the
+            # coordination service directly.  An ephemeral re-appearing
+            # under the dead server's own address is a *new* incarnation
+            # (it can only come back through a new session), so it is a
+            # legitimate assignment target.
             yield self.sleep(self.settings.master_tick)
-            servers = [s for s in self._live_servers if s != dead]
+            try:
+                children = yield from self.zk.get_children(RS_ZNODE_DIR)
+            except Interrupt:
+                raise
+            except Exception:
+                continue
+            servers = [path.rsplit("/", 1)[1] for path in children]
         descriptors = {d.region_id: d for ds in self.tables.values() for d in ds}
         opens = []
         for region in affected:
@@ -398,6 +444,7 @@ class Master(ZkWatcherMixin, Node):
             proc = self.spawn(
                 self._open_with_retry(
                     server,
+                    region,
                     descriptors[region].to_wire(),
                     recovered_paths[region],
                     dead,
@@ -418,17 +465,29 @@ class Master(ZkWatcherMixin, Node):
     def _open_with_retry(
         self,
         server: str,
+        region: str,
         descriptor: dict,
         recovered_edits: Optional[str],
         failed_server: str,
         attempts: int = 10,
     ):
+        """Open ``region`` on ``server``, surviving the assignee's death.
+
+        Attempts are deliberately short-fused: the server's duplicate-open
+        guard makes a retried open cheap (it waits on the in-flight one),
+        so a long recovery gate is ridden out across several attempts
+        instead of one long timeout that would also be paid, uselessly, on
+        a dead assignee.  Between attempts the target's ephemeral is
+        checked; if it is gone, the region is handed to another live
+        server -- the failover that spawned us is blocked behind this very
+        open, so nobody else can reassign it.
+        """
         for attempt in range(attempts):
             try:
                 yield self.call(
                     server,
                     "open_region",
-                    timeout=120.0,
+                    timeout=15.0,
                     descriptor=descriptor,
                     recovered_edits=recovered_edits,
                     failed_server=failed_server,
@@ -436,4 +495,14 @@ class Master(ZkWatcherMixin, Node):
                 return True
             except (RpcError, KvError):
                 yield self.sleep(1.0)  # e.g. DFS re-replication in progress
+            try:
+                children = yield from self.zk.get_children(RS_ZNODE_DIR)
+            except Interrupt:
+                raise
+            except Exception:
+                continue  # coordination unreachable; retry the same target
+            live = {path.rsplit("/", 1)[1] for path in children}
+            if server not in live and live:
+                server = sorted(live)[next(self._assign_cursor) % len(live)]
+                self.assignments[region] = server
         return False

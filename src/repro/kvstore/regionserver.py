@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.config import KvSettings
 from repro.dfs.client import DfsClient
-from repro.errors import RegionOffline, WrongRegionServer
+from repro.errors import RegionOffline, RpcError, WrongRegionServer
 from repro.kvstore.blockcache import BlockCache
 from repro.kvstore.keys import Cell, WireCell
 from repro.kvstore.region import (
@@ -106,6 +106,11 @@ class RegionServer(ZkWatcherMixin, Node):
             "compactions": 0,
         }
 
+    @property
+    def incarnation(self) -> int:
+        """Which life of this address is running (bumped on restart)."""
+        return self._epoch
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -115,6 +120,7 @@ class RegionServer(ZkWatcherMixin, Node):
         Opens the WAL, registers the liveness ephemeral, and starts the
         memstore flusher.
         """
+        self.zk.on_session_loss = self._fence_on_session_loss
         yield from self.zk.start_session()
         yield from self.wal.open()
         yield from self.zk.create(f"{RS_ZNODE_DIR}/{self.addr}", ephemeral=True)
@@ -123,6 +129,17 @@ class RegionServer(ZkWatcherMixin, Node):
         if self.extension is not None:
             self.extension.on_server_started()
         return self
+
+    def _fence_on_session_loss(self) -> None:
+        """Self-fence on coordination-session expiry.
+
+        Our liveness ephemeral is gone, so the master is (or will be)
+        recovering our regions onto other servers; continuing to serve
+        would split the brain.  HBase region servers abort here, and so
+        do we -- the operator restarts us as a fresh incarnation.
+        """
+        if self.alive and self.started:
+            self.crash()
 
     def on_crash(self) -> None:
         """Volatile state dies: memstores, block cache, WAL buffer."""
@@ -177,40 +194,111 @@ class RegionServer(ZkWatcherMixin, Node):
         before going online.
         """
         desc = RegionDescriptor.from_wire(descriptor)
+        existing = self.regions.get(desc.region_id)
+        if existing is not None:
+            # Duplicate open: the master retried after a lost reply, or
+            # the fabric duplicated the request.  The in-flight open is
+            # authoritative -- wait for it rather than restarting
+            # recovery with a fresh region object.
+            while (
+                self.regions.get(desc.region_id) is existing
+                and existing.state in (OPENING, RECOVERING)
+            ):
+                yield self.sleep(0.1)
+            if self.regions.get(desc.region_id) is existing:
+                # Already online here -- but this open may carry a *newer*
+                # recovery obligation than the one that brought the region
+                # up: the master can pin the region for an earlier
+                # incarnation's death after our re-open finished, and only
+                # the recovery gate releases that pin.  Replays are
+                # idempotent (versioned cells), so run the gate against
+                # the live region, and re-announce since the master marks
+                # a region offline when it starts a failover for it.
+                if self.extension is not None and failed_server is not None:
+                    yield from self.extension.region_gate(
+                        desc.region_id, failed_server
+                    )
+                proc = self.spawn(
+                    self._announce_online(desc.region_id),
+                    name=f"announce:{desc.region_id}",
+                )
+                proc.defuse()
+                return {"region": desc.region_id, "replayed_edits": 0}
+            # The earlier open failed and cleaned up after itself; fall
+            # through and run the open ourselves.
+
         region = Region(descriptor=desc, state=OPENING)
         self.regions[desc.region_id] = region
+        try:
+            # Load the immutable store files for this region -- its own
+            # directory plus any directories inherited from split parents.
+            for directory in desc.all_dirs():
+                paths = yield from self.dfs.list_dir(directory)
+                for path in paths:
+                    meta = yield from self.dfs.stat(path)
+                    if not meta["closed"]:
+                        continue  # partial flush abandoned by a crashed server
+                    sstable = yield from SSTable.open(self.dfs, path)
+                    region.sstables.append(sstable)
 
-        # Load the immutable store files for this region -- its own
-        # directory plus any directories inherited from split parents.
-        for directory in desc.all_dirs():
-            paths = yield from self.dfs.list_dir(directory)
-            for path in paths:
-                meta = yield from self.dfs.stat(path)
-                if not meta["closed"]:
-                    continue  # partial flush abandoned by a crashed server
-                sstable = yield from SSTable.open(self.dfs, path)
-                region.sstables.append(sstable)
-
-        # HBase-internal recovery: replay the split WAL edits.
-        replayed = 0
-        if recovered_edits is not None:
-            exists = yield from self.dfs.exists(recovered_edits)
-            if exists:
-                records = yield from self.dfs.read_all(recovered_edits)
+            # HBase-internal recovery: replay the split WAL edits -- the
+            # file this open was handed plus every file accumulated by
+            # earlier failovers of this region.  Replayed edits land only
+            # in the memstore, not in this server's WAL, so if this server
+            # dies too the next open must still find them here; versioned
+            # cells make re-replay idempotent.
+            replayed = 0
+            replay_paths = yield from self.dfs.list_dir(
+                f"/recovered/{desc.region_id}/"
+            )
+            if recovered_edits is not None and recovered_edits not in replay_paths:
+                replay_paths.append(recovered_edits)
+            for path in replay_paths:
+                records = yield from self.dfs.read_all(path)
                 for payload, _nbytes in records:
                     _region_id, txn_ts, cells = payload
                     for wire in cells:
                         region.memstore.put(Cell.from_wire(wire))
                         replayed += 1
 
-        # Transactional recovery gate (the paper's hook).
-        if self.extension is not None and failed_server is not None:
-            region.state = RECOVERING
-            yield from self.extension.region_gate(desc.region_id, failed_server)
+            # Transactional recovery gate (the paper's hook).
+            if self.extension is not None and failed_server is not None:
+                region.state = RECOVERING
+                yield from self.extension.region_gate(desc.region_id, failed_server)
+        except BaseException:
+            # A failed open must not leave a corpse pinned OPENING:
+            # retries and duplicates check ``self.regions`` to decide
+            # whether an open is still in flight.
+            if self.regions.get(desc.region_id) is region:
+                self.regions.pop(desc.region_id)
+            raise
 
         region.state = ONLINE
-        self.cast(self.master, "region_online", region=desc.region_id, server=self.addr)
+        proc = self.spawn(
+            self._announce_online(desc.region_id),
+            name=f"announce:{desc.region_id}",
+        )
+        proc.defuse()
         return {"region": desc.region_id, "replayed_edits": replayed}
+
+    def _announce_online(self, region_id: str):
+        """Tell the master the region is serving -- reliably.
+
+        A lost fire-and-forget notification would leave the region online
+        here but permanently invisible to the master's routing and health
+        view, so repeat until acknowledged.
+        """
+        while self.alive:
+            try:
+                yield self.call(
+                    self.master, "region_online", timeout=2.0,
+                    region=region_id, server=self.addr,
+                )
+                return
+            except Interrupt:
+                return
+            except RpcError:
+                yield self.sleep(0.5)
 
     def rpc_close_region(self, sender: str, region_id: str):
         """Cleanly close a region for a move (not a failure path).

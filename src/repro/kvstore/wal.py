@@ -15,6 +15,7 @@ import typing
 from typing import Dict, List, Optional, Tuple
 
 from repro.dfs.client import DfsClient
+from repro.errors import DfsError
 from repro.kvstore.keys import WireCell
 from repro.sim.events import Event, Interrupt
 from repro.sim.resource import Resource
@@ -63,6 +64,10 @@ class WriteAheadLog:
         #: Server incarnation: a restarted server gets a fresh epoch so its
         #: new segments never collide with the previous life's files.
         self.epoch = epoch
+        #: Durability floor for syncs: T_P must never advance past records
+        #: that are 'durable' on a single (usually co-located) replica --
+        #: lose that machine and server recovery would silently skip them.
+        self.min_durable = max(1, min(2, dfs.replication))
         self._file_index = 0
         self._file_records = 0
         self.appended_seq = 0
@@ -96,8 +101,18 @@ class WriteAheadLog:
         try:
             while True:
                 yield self.host.sleep(self.sync_interval)
-                if self._buffer:
+                if not self._buffer:
+                    continue
+                try:
                     yield from self.sync()
+                except Interrupt:
+                    raise
+                except Exception:
+                    # Pipeline below the durability floor (datanodes dead
+                    # or partitioned).  The batch is back in the buffer;
+                    # retry next interval -- durability waiters are the
+                    # ones with deadlines, not this loop.
+                    continue
         except Interrupt:
             return
 
@@ -132,7 +147,7 @@ class WriteAheadLog:
             if batch:
                 records = [(payload, nbytes) for payload, nbytes in batch]
                 try:
-                    yield from self.dfs.append(self.path, records, durable=True)
+                    yield from self._append_durable(records)
                 except BaseException:
                     # Put the batch back so a later sync retries it; losing
                     # it here would leave synced_seq permanently behind
@@ -148,6 +163,28 @@ class WriteAheadLog:
         finally:
             self._sync_lock.release()
         return self.synced_seq
+
+    def _append_durable(self, records):
+        """Land ``records`` on at least ``min_durable`` replicas.
+
+        A pipeline degraded below the floor (a replica datanode dead or
+        partitioned away) fails fast; the repair is to roll to a fresh
+        segment on healthy datanodes and append there -- HBase's answer
+        to an HDFS pipeline failure.  Rolling also lets the namenode
+        re-replicate the closed, degraded segment in the background.
+        """
+        try:
+            yield from self.dfs.append(
+                self.path, records, durable=True,
+                max_attempts=2, min_replicas=self.min_durable,
+            )
+            return
+        except DfsError:
+            pass
+        yield from self._roll()
+        yield from self.dfs.append(
+            self.path, records, durable=True, min_replicas=self.min_durable,
+        )
 
     def _roll(self):
         """Close the active segment and open a fresh one (holding the lock)."""

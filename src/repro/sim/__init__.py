@@ -14,11 +14,13 @@ from repro.sim.network import LatencyModel, Message, Network
 from repro.sim.node import Node
 from repro.sim.process import Process
 from repro.sim.resource import Resource, SimQueue
+from repro.sim.retry import DEFAULT_RPC_RETRY, UNBOUNDED_RETRY, RetryPolicy
 from repro.sim.rng import SeededRng, zipfian_sampler
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "DEFAULT_RPC_RETRY",
     "Disk",
     "Event",
     "Interrupt",
@@ -29,8 +31,10 @@ __all__ = [
     "Node",
     "Process",
     "Resource",
+    "RetryPolicy",
     "SeededRng",
     "SimQueue",
     "Timeout",
+    "UNBOUNDED_RETRY",
     "zipfian_sampler",
 ]

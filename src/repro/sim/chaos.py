@@ -1,0 +1,465 @@
+"""Randomised crash-recovery chaos harness.
+
+Drives a live transactional workload against a full simulated cluster
+while a seeded storm of faults plays out -- message loss, duplication,
+delay spikes, slow nodes, partitions, server-machine crashes with later
+restarts, and client crashes -- then heals everything, waits for the
+recovery middleware to converge, and audits the paper's guarantee: every
+acknowledged commit is readable at its commit timestamp.
+
+The whole storm derives from the cluster seed through dedicated RNG
+substreams, so a run is bit-for-bit reproducible: :func:`run_chaos` with
+the same seed and settings produces an identical :class:`ChaosReport`,
+including the fault trace and every fabric counter.  The ``tests/chaos``
+suite sweeps seeds and asserts zero :class:`~repro.workload.verify`
+violations; ``python -m repro chaos`` runs the same sweep from the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.cluster import TABLE, ClientHandle, SimCluster
+from repro.config import ClusterConfig
+from repro.errors import TxnConflict
+from repro.kvstore.keys import row_key
+from repro.sim.events import Interrupt
+
+
+@dataclass(frozen=True)
+class ChaosSettings:
+    """Parameterisation of one chaos run (the storm and its workload)."""
+
+    #: Seconds of quiet workload before the storm starts.
+    warmup: float = 1.0
+    #: Storm length (faults are drawn inside this window).
+    storm: float = 8.0
+    #: Maximum time after the storm for the middleware to converge (the
+    #: harness polls and moves on as soon as it has).
+    settle: float = 45.0
+    #: Extra quiet period used to confirm the thresholds are stationary.
+    confirm: float = 5.0
+
+    # -- workload ---------------------------------------------------------
+    n_writers: int = 3
+    n_rows: int = 2_000
+    writes_per_txn: int = 5
+    think_time: float = 0.05
+
+    # -- cluster shape ----------------------------------------------------
+    n_servers: int = 3
+    n_regions: int = 6
+
+    # -- ambient fabric chaos (active for the whole storm) ----------------
+    loss_probability: float = 0.02
+    duplicate_probability: float = 0.01
+    delay_spike_probability: float = 0.005
+    delay_spike_factor: float = 20.0
+
+    # -- discrete faults (count drawn positions inside the storm) ---------
+    server_crashes: int = 1
+    client_crashes: int = 1
+    partitions: int = 1
+    loss_bursts: int = 1
+    degradations: int = 1
+    #: Loss probability while a burst is active.
+    burst_loss_probability: float = 0.15
+    #: Latency multiplier range for a degraded ("slow") node.
+    degradation_factor: float = 6.0
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced; equality is bit-for-bit."""
+
+    seed: int
+    trace: List[str] = field(default_factory=list)
+    acknowledged: int = 0
+    attempted: int = 0
+    conflicts: int = 0
+    errors: int = 0
+    violations: List[str] = field(default_factory=list)
+    converged: bool = False
+    global_tf: int = 0
+    global_tp: int = 0
+    net: dict = field(default_factory=dict)
+    tm: dict = field(default_factory=dict)
+    events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """The run upheld the guarantee and the middleware converged."""
+        return not self.violations and self.converged and self.acknowledged > 0
+
+    def summary(self) -> str:
+        """One line for sweep output."""
+        verdict = "OK" if self.ok else "FAIL"
+        return (
+            f"seed {self.seed:>4}: {verdict}  "
+            f"acked={self.acknowledged} conflicts={self.conflicts} "
+            f"errors={self.errors} violations={len(self.violations)} "
+            f"converged={self.converged} "
+            f"lost={self.net.get('messages_lost', 0)} "
+            f"dup={self.net.get('messages_duplicated', 0)} "
+            f"retries={self.net.get('rpc_retries', 0)}"
+        )
+
+
+def build_chaos_cluster(seed: int, settings: ChaosSettings) -> SimCluster:
+    """A cluster tuned so the store alone would lose data on failure.
+
+    As in the recovery test suites: the WAL group-sync interval is huge, so
+    durability across crashes rests entirely on the recovery middleware.
+    """
+    config = ClusterConfig(seed=seed)
+    config.kv.n_region_servers = settings.n_servers
+    config.kv.n_regions = settings.n_regions
+    config.kv.wal_sync_interval = 300.0
+    config.workload.n_rows = settings.n_rows
+    config.recovery.client_heartbeat_interval = 0.5
+    config.recovery.server_heartbeat_interval = 0.5
+    config.zk.session_timeout = 1.0
+    config.zk.tick_interval = 0.2
+    cluster = SimCluster(config).start()
+    cluster.preload()
+    cluster.warm_caches()
+    return cluster
+
+
+def run_chaos(
+    seed: int,
+    settings: Optional[ChaosSettings] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """One full chaos run: storm, heal, converge, audit.
+
+    Deterministic in ``(seed, settings)``; ``progress`` (if given) receives
+    the same trace lines the report collects, as they happen.
+    """
+    from repro.workload.verify import CommitLedger
+
+    s = settings or ChaosSettings()
+    cluster = build_chaos_cluster(seed, s)
+    rng = cluster.kernel.rng.substream("chaos.harness")
+    report = ChaosReport(seed=seed)
+
+    def note(msg: str) -> None:
+        line = f"{cluster.kernel.now:9.4f}  {msg}"
+        report.trace.append(line)
+        if progress is not None:
+            progress(line)
+
+    # -- workload ---------------------------------------------------------
+    ledger = CommitLedger()
+    writers: List[ClientHandle] = [
+        cluster.add_client(f"w{i}") for i in range(s.n_writers)
+    ]
+
+    def writer_loop(handle: ClientHandle, wid: str):
+        wrng = cluster.kernel.rng.substream(f"chaos.writer.{wid}")
+        counter = 0
+        try:
+            while True:
+                counter += 1
+                rows = sorted(wrng.sample(range(s.n_rows), s.writes_per_txn))
+                report.attempted += 1
+                try:
+                    ctx = yield from handle.txn.begin()
+                    for i in rows:
+                        handle.txn.write(ctx, TABLE, row_key(i), f"{wid}.{counter}")
+                    yield from handle.txn.commit(ctx)
+                except Interrupt:
+                    raise
+                except TxnConflict:
+                    report.conflicts += 1
+                    continue
+                except Exception:
+                    report.errors += 1  # not acknowledged: no guarantee
+                    continue
+                ledger.record(ctx, TABLE)
+                yield handle.node.sleep(wrng.uniform(0.5, 1.5) * s.think_time)
+        except Interrupt:
+            return
+
+    for i, handle in enumerate(writers):
+        proc = handle.node.spawn(writer_loop(handle, f"w{i}"), name=f"writer{i}")
+        proc.defuse()
+
+    # -- fault scheduling -------------------------------------------------
+    t0 = cluster.kernel.now + s.warmup
+    storm_end = t0 + s.storm
+    restarting: set = set()
+
+    def storm_on() -> None:
+        cluster.net.configure_chaos(
+            loss_probability=s.loss_probability,
+            duplicate_probability=s.duplicate_probability,
+            delay_spike_probability=s.delay_spike_probability,
+            delay_spike_factor=s.delay_spike_factor,
+        )
+        note(
+            f"storm on: loss={s.loss_probability} dup={s.duplicate_probability} "
+            f"spike={s.delay_spike_probability}"
+        )
+
+    def crash_machine(i: int) -> None:
+        rs = cluster.servers[i]
+        if not rs.alive or i in restarting:
+            return
+        note(f"crash machine {rs.addr}+{cluster.datanodes[i].addr}")
+        cluster.crash_server(i)
+
+    def restart_machine(i: int) -> None:
+        rs = cluster.servers[i]
+        if rs.alive or i in restarting:
+            return
+        restarting.add(i)
+        note(f"restart machine {rs.addr}")
+        if not cluster.datanodes[i].alive:
+            cluster.datanodes[i].revive()
+
+        def bring_up():
+            # A restarted server re-registers under the same address, so
+            # wait until the master has *observed* the death (dropped the
+            # address from its live set) -- otherwise the re-appearing
+            # ephemeral masks the death and its regions are never
+            # reassigned.  Once observed, the failover is queued and
+            # excludes the old incarnation by name, so re-registering is
+            # safe -- and necessary: if every server is down, the pending
+            # failovers are themselves waiting for a server to register.
+            while rs.addr in cluster.master._live_servers:
+                yield cluster.kernel.timeout(0.25)
+            try:
+                # Mid-storm the bring-up itself can lose messages (session
+                # open, WAL create, ephemeral registration); retry until
+                # the server is genuinely back rather than leaving it
+                # half-started.  ``restart`` no-ops once revived, so the
+                # retry path finishes with a direct ``start``.
+                while True:
+                    try:
+                        if not rs.alive:
+                            yield from rs.restart()
+                        elif not rs.started:
+                            yield from rs.start()
+                        break
+                    except Interrupt:
+                        return
+                    except Exception:
+                        yield cluster.kernel.timeout(1.0)
+            finally:
+                restarting.discard(i)
+
+        proc = cluster.kernel.process(bring_up())
+        proc.defuse()
+
+    def crash_client(i: int) -> None:
+        node = writers[i].node
+        if not node.alive:
+            return
+        note(f"crash client {node.addr}")
+        node.crash()
+
+    def partition_client(i: int, dwell: float) -> None:
+        node = writers[i].node
+        if not node.alive:
+            return
+        others = [n for n in cluster.net.nodes if n != node.addr]
+        note(f"partition client {node.addr} for {dwell:.2f}s")
+        cluster.net.partition([node.addr], others)
+        cluster.after(dwell, heal_all)
+
+    def partition_server(i: int, dwell: float) -> None:
+        rs = cluster.servers[i]
+        if not rs.alive or i in restarting:
+            return
+        island = [rs.addr, cluster.datanodes[i].addr]
+        others = [n for n in cluster.net.nodes if n not in island]
+        note(f"partition server {rs.addr} for {dwell:.2f}s")
+        cluster.net.partition(island, others)
+
+        def heal_and_fence() -> None:
+            # A partitioned server is treated as crashed (Section 3.1): its
+            # session expired and its regions failed over, so fence the
+            # zombie before healing -- the real store's self-abort on
+            # session expiry -- and bring it back as a fresh incarnation.
+            if rs.alive:
+                note(f"fence zombie {rs.addr}")
+                cluster.crash_server(i)
+            heal_all()
+            restart_machine(i)
+
+        cluster.after(dwell, heal_and_fence)
+
+    def heal_all() -> None:
+        note("heal partitions")
+        cluster.net.heal()
+
+    def loss_burst(dwell: float) -> None:
+        note(f"loss burst {s.burst_loss_probability} for {dwell:.2f}s")
+        cluster.net.configure_chaos(loss_probability=s.burst_loss_probability)
+
+        def end_burst() -> None:
+            note("loss burst over")
+            cluster.net.configure_chaos(loss_probability=s.loss_probability)
+
+        cluster.after(dwell, end_burst)
+
+    def degrade_node(addr: str, factor: float, dwell: float) -> None:
+        note(f"degrade {addr} x{factor:.1f} for {dwell:.2f}s")
+        cluster.net.degrade(addr, factor)
+        cluster.after(dwell, lambda: cluster.net.restore(addr))
+
+    cluster.after(t0 - cluster.kernel.now, storm_on)
+
+    def draw_in_storm(margin: float) -> float:
+        return rng.uniform(t0 + 0.2, max(t0 + 0.3, storm_end - margin))
+
+    now = cluster.kernel.now
+    for _ in range(s.server_crashes):
+        at = draw_in_storm(margin=3.0)
+        dwell = rng.uniform(2.0, 3.5)
+        victim = rng.randrange(s.n_servers)
+        cluster.after(at - now, lambda v=victim: crash_machine(v))
+        cluster.after(at + dwell - now, lambda v=victim: restart_machine(v))
+    for _ in range(s.client_crashes):
+        at = draw_in_storm(margin=2.0)
+        victim = rng.randrange(s.n_writers)
+        cluster.after(at - now, lambda v=victim: crash_client(v))
+    for _ in range(s.partitions):
+        at = draw_in_storm(margin=3.0)
+        dwell = rng.uniform(1.5, 2.5)
+        if rng.random() < 0.5:
+            victim = rng.randrange(s.n_writers)
+            cluster.after(
+                at - now, lambda v=victim, d=dwell: partition_client(v, d)
+            )
+        else:
+            victim = rng.randrange(s.n_servers)
+            cluster.after(
+                at - now, lambda v=victim, d=dwell: partition_server(v, d)
+            )
+    for _ in range(s.loss_bursts):
+        at = draw_in_storm(margin=1.5)
+        dwell = rng.uniform(0.5, 1.5)
+        cluster.after(at - now, lambda d=dwell: loss_burst(d))
+    for _ in range(s.degradations):
+        at = draw_in_storm(margin=1.0)
+        dwell = rng.uniform(1.0, 2.5)
+        addr = rng.choice(
+            [rs.addr for rs in cluster.servers] + ["tm", "zk"]
+        )
+        factor = rng.uniform(2.0, s.degradation_factor)
+        cluster.after(
+            at - now, lambda a=addr, f=factor, d=dwell: degrade_node(a, f, d)
+        )
+
+    # -- storm ------------------------------------------------------------
+    cluster.run_until(storm_end)
+
+    # -- cleanup: back to a polite fabric, everything running -------------
+    cluster.net.configure_chaos(
+        loss_probability=0.0,
+        duplicate_probability=0.0,
+        delay_spike_probability=0.0,
+    )
+    cluster.net.heal()
+    cluster.net.restore()
+    note("storm off: fabric clean")
+    for i, rs in enumerate(cluster.servers):
+        if not rs.alive:
+            restart_machine(i)
+
+    def janitor():
+        # Servers can still die *after* the storm: a region server whose
+        # coordination session expired mid-storm self-fences only when its
+        # next ping discovers the expiry.  Restart whatever falls over so
+        # the cluster can converge.
+        while True:
+            yield cluster.kernel.timeout(1.0)
+            for i, rs in enumerate(cluster.servers):
+                if not rs.alive and i not in restarting:
+                    note(f"janitor: restart {rs.addr}")
+                    restart_machine(i)
+
+    janitor_proc = cluster.kernel.process(janitor())
+    janitor_proc.defuse()
+    cluster.run_until(cluster.kernel.now + 2.0)
+    for handle in writers:
+        if handle.node.alive:
+            for proc in list(handle.node._procs):
+                if proc.name and "writer" in proc.name:
+                    proc.interrupt("chaos harness stop")
+    note("writers stopped")
+
+    # -- convergence ------------------------------------------------------
+    # Poll up to the settle budget; recovery time varies with how the
+    # storm landed (serialised failovers, retried fetches), so a fixed
+    # sampling instant would misread a slow-but-correct run as wedged.
+    # A settled-looking sample is then held for the confirm window: the
+    # thresholds ratchet (T_P up -> client thresholds up -> T_F up) in
+    # heartbeat-interval hops, so the first T_P == T_F moment need not be
+    # the fixed point -- if the confirm window catches movement, polling
+    # resumes until the budget runs out.
+    def settled(rm_st: dict, cl_st: dict) -> bool:
+        return (
+            rm_st["global_tp"] == rm_st["global_tf"]
+            and not rm_st["pending_regions"]
+            and not rm_st["recovering"]
+            and all(cl_st["online"].values())
+            and all(rs.alive for rs in cluster.servers)
+        )
+
+    deadline = cluster.kernel.now + s.settle
+    report.converged = False
+    while True:
+        while cluster.kernel.now < deadline:
+            cluster.run_until(min(deadline, cluster.kernel.now + 1.0))
+            if settled(cluster.rm_status(), cluster.cluster_status()):
+                break
+        rm_a = cluster.rm_status()
+        cluster.run_until(cluster.kernel.now + s.confirm)
+        rm_b = cluster.rm_status()
+        if rm_b["global_tf"] == rm_a["global_tf"] and settled(
+            rm_b, cluster.cluster_status()
+        ):
+            report.converged = True
+            break
+        if cluster.kernel.now >= deadline:
+            break
+    report.global_tf = rm_b["global_tf"]
+    report.global_tp = rm_b["global_tp"]
+    note(
+        f"converged={report.converged} "
+        f"tf={report.global_tf} tp={report.global_tp}"
+    )
+
+    # -- audit ------------------------------------------------------------
+    report.acknowledged = len(ledger)
+    try:
+        report.violations = [str(v) for v in ledger.verify(cluster)]
+    except Exception as exc:  # a wedged cluster: report, don't explode
+        report.violations = [f"audit aborted: {exc!r}"]
+    report.net = cluster.net_stats()
+    report.tm = cluster.tm_stats()
+    report.events = cluster.kernel.event_count
+    note(
+        f"audit: {report.acknowledged} acknowledged, "
+        f"{len(report.violations)} violations"
+    )
+    return report
+
+
+def run_sweep(
+    seeds,
+    settings: Optional[ChaosSettings] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ChaosReport]:
+    """Run :func:`run_chaos` for each seed; returns all reports."""
+    reports = []
+    for seed in seeds:
+        report = run_chaos(seed, settings=settings)
+        if progress is not None:
+            progress(report.summary())
+        reports.append(report)
+    return reports

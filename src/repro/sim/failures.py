@@ -10,7 +10,7 @@ windows are how its partition semantics are exercised.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.sim.kernel import Kernel
 from repro.sim.network import Network
@@ -43,7 +43,7 @@ class Custom:
     label: str = "custom"
 
 
-Fault = object  # CrashNode | Partition | Custom
+Fault = Union[CrashNode, Partition, Custom]
 
 
 @dataclass
@@ -77,6 +77,7 @@ class FailureSchedule:
         what was armed (for experiment records)."""
         armed: List[str] = []
         for fault in self.faults:
+            self._validate(fault)
             if isinstance(fault, CrashNode):
                 def do_crash(f=fault):
                     for addr in f.addrs:
@@ -107,6 +108,21 @@ class FailureSchedule:
             else:
                 raise TypeError(f"unknown fault {fault!r}")
         return armed
+
+    @staticmethod
+    def _validate(fault: Fault) -> None:
+        """Reject schedules that would silently arm nonsense."""
+        at = getattr(fault, "at", None)
+        if not isinstance(fault, (CrashNode, Partition, Custom)):
+            raise TypeError(f"unknown fault {fault!r}")
+        if at is None or at < 0:
+            raise ValueError(f"fault offset must be >= 0, got {at!r} in {fault!r}")
+        if isinstance(fault, Partition) and fault.heal_at is not None:
+            if fault.heal_at <= fault.at:
+                raise ValueError(
+                    f"partition heal_at {fault.heal_at!r} must be after "
+                    f"at {fault.at!r}"
+                )
 
 
 def _arm(kernel: Kernel, delay: float, action: Callable[[], None]) -> None:

@@ -9,6 +9,7 @@ bit-for-bit reproducible -- the property all tests and benchmarks rely on.
 from __future__ import annotations
 
 import heapq
+import itertools
 from typing import Any, List, Optional, Tuple
 
 from repro.errors import ScheduleError, SimulationError
@@ -39,6 +40,10 @@ class Kernel:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._event_count = 0
+        # RPC request-id source, per kernel so that back-to-back
+        # simulations in one process are bit-for-bit identical (a
+        # module-level counter would leak ids across clusters).
+        self._req_ids = itertools.count(1)
         #: Unhandled process failures observed so far (for post-mortems).
         self.dead_processes: List[Tuple[Process, BaseException]] = []
 
@@ -56,6 +61,10 @@ class Kernel:
     def process(self, generator: ProcGen, name: Optional[str] = None) -> Process:
         """Start a new process running ``generator``."""
         return Process(self, generator, name=name)
+
+    def next_req_id(self) -> int:
+        """A kernel-unique RPC request id (all nodes share the sequence)."""
+        return next(self._req_ids)
 
     def all_of(self, events) -> AllOf:
         """Composite event that fires when every child has fired."""

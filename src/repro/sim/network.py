@@ -4,7 +4,15 @@ The model matches the paper's testbed at the level that matters for the
 experiments: a switched LAN with per-message propagation delay plus a
 bandwidth term (the paper used 100 Mbps Ethernet, so kilobyte-sized
 write-sets are not free).  Partitions and node crashes drop messages; there
-is no reordering beyond what differing latencies produce, and no duplication.
+is no reordering beyond what differing latencies produce.
+
+On top of the polite-LAN baseline sits a **chaos layer** for adversarial
+testing: probabilistic message loss, duplication, heavy-tail delay spikes,
+and per-node link degradation ("slow node").  All chaos draws come from a
+dedicated RNG substream, so enabling chaos never perturbs the latency
+jitter sequence, and a given seed replays the same hostile schedule
+bit-for-bit.  Everything is off by default -- the fair-loss/crash-stop
+model the paper assumes is the zero-probability special case.
 """
 
 from __future__ import annotations
@@ -70,6 +78,80 @@ class Network:
         self.messages_dropped = 0
         #: Optional message tracer (see repro.metrics.tracing).
         self.tracer = None
+        # ----- chaos layer (all off by default) ------------------------
+        #: Probability that a message vanishes in flight.
+        self.loss_probability = 0.0
+        #: Probability that a message is delivered twice (independent
+        #: delays, so the copies may reorder).
+        self.duplicate_probability = 0.0
+        #: Probability of a heavy-tail delay spike on one delivery.
+        self.delay_spike_probability = 0.0
+        #: Multiplier applied to the sampled delay on a spike.
+        self.delay_spike_factor = 25.0
+        #: Per-node delay multipliers ("slow node"): messages to or from a
+        #: degraded address take factor-times longer.
+        self._degraded: Dict[str, float] = {}
+        # Chaos draws use their own substream so that turning chaos on
+        # does not shift the latency-jitter sequence of `_rng`.
+        self._chaos_rng = kernel.rng.substream("network.chaos")
+        self.messages_lost = 0
+        self.messages_duplicated = 0
+        self.delay_spikes = 0
+        #: Application-level retries routed through this fabric (counted
+        #: by Node.call_with_retry and the client retry loops).
+        self.rpc_retries = 0
+        #: Duplicate requests suppressed by receivers' transport dedup.
+        self.duplicates_suppressed = 0
+
+    # ------------------------------------------------------------------
+    # chaos configuration
+    # ------------------------------------------------------------------
+    def configure_chaos(
+        self,
+        loss_probability: Optional[float] = None,
+        duplicate_probability: Optional[float] = None,
+        delay_spike_probability: Optional[float] = None,
+        delay_spike_factor: Optional[float] = None,
+    ) -> None:
+        """Set any subset of the chaos knobs (None leaves a knob alone)."""
+        for name, value in (
+            ("loss_probability", loss_probability),
+            ("duplicate_probability", duplicate_probability),
+            ("delay_spike_probability", delay_spike_probability),
+        ):
+            if value is not None:
+                if not 0.0 <= value < 1.0:
+                    raise ValueError(f"{name} {value} outside [0, 1)")
+                setattr(self, name, value)
+        if delay_spike_factor is not None:
+            if delay_spike_factor < 1.0:
+                raise ValueError(f"delay_spike_factor {delay_spike_factor} < 1")
+            self.delay_spike_factor = delay_spike_factor
+
+    def degrade(self, addr: str, factor: float) -> None:
+        """Degrade every link touching ``addr`` by a delay multiplier."""
+        if factor < 1.0:
+            raise ValueError(f"degradation factor {factor} < 1")
+        self._degraded[addr] = factor
+
+    def restore(self, addr: Optional[str] = None) -> None:
+        """Undo :meth:`degrade` (all degradations when ``addr`` is None)."""
+        if addr is None:
+            self._degraded.clear()
+        else:
+            self._degraded.pop(addr, None)
+
+    def chaos_counters(self) -> Dict[str, int]:
+        """Fabric-level counters for chaos reports and metrics."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_dropped": self.messages_dropped,
+            "messages_lost": self.messages_lost,
+            "messages_duplicated": self.messages_duplicated,
+            "delay_spikes": self.delay_spikes,
+            "rpc_retries": self.rpc_retries,
+            "duplicates_suppressed": self.duplicates_suppressed,
+        }
 
     # ------------------------------------------------------------------
     # membership
@@ -118,19 +200,63 @@ class Network:
     def send(self, message: Message) -> None:
         """Dispatch a message; it arrives after a sampled one-way delay.
 
-        Reachability is evaluated at *delivery* time: a message in flight
-        when its destination dies is lost, one in flight when the
-        destination is healthy is delivered even if the sender has since
-        crashed (packets do not recall themselves).
+        Reachability is evaluated at both ends of the flight.  At *send*
+        time: a message injected into a partitioned link (or towards a
+        dead node) is dropped immediately -- it must not be resurrected by
+        a partition that heals before the sampled delay elapses.  At
+        *delivery* time: a message in flight when its destination dies is
+        lost, while one in flight when the destination is healthy is
+        delivered even if the sender has since crashed (packets do not
+        recall themselves).
+
+        The chaos layer then applies, in a fixed draw order for
+        reproducibility: loss, duplication, and per-delivery delay spikes,
+        with per-node degradation multiplying every delay.
         """
         self.messages_sent += 1
         if self.tracer is not None:
             self.tracer.record(
                 self.kernel.now, "send", message.src, message.dst, message.method
             )
-        delay = self.latency.sample(self._rng, message.size)
-        arrival = self.kernel.timeout(delay)
-        arrival.callbacks.append(lambda _ev, m=message: self._deliver(m))
+        if not self.reachable(message.src, message.dst):
+            self.messages_dropped += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.kernel.now, "drop", message.src, message.dst,
+                    message.method,
+                )
+            return
+        chaos = self._chaos_rng
+        if self.loss_probability > 0.0 and chaos.random() < self.loss_probability:
+            self.messages_lost += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.kernel.now, "lose", message.src, message.dst,
+                    message.method,
+                )
+            return
+        copies = 1
+        if (
+            self.duplicate_probability > 0.0
+            and chaos.random() < self.duplicate_probability
+        ):
+            self.messages_duplicated += 1
+            copies = 2
+        degradation = 1.0
+        if self._degraded:
+            degradation = self._degraded.get(message.src, 1.0) * self._degraded.get(
+                message.dst, 1.0
+            )
+        for _copy in range(copies):
+            delay = self.latency.sample(self._rng, message.size)
+            if (
+                self.delay_spike_probability > 0.0
+                and chaos.random() < self.delay_spike_probability
+            ):
+                self.delay_spikes += 1
+                delay *= self.delay_spike_factor
+            arrival = self.kernel.timeout(delay * degradation)
+            arrival.callbacks.append(lambda _ev, m=message: self._deliver(m))
 
     def _deliver(self, message: Message) -> None:
         if not self.reachable(message.src, message.dst):

@@ -14,16 +14,18 @@ as :class:`~repro.errors.RemoteError`.
 
 from __future__ import annotations
 
-import itertools
-from typing import Any, Dict, Optional, Set
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple, Type
 
 from repro.errors import NodeDown, RemoteError, RpcTimeout
 from repro.sim.events import Event, Interrupt
 from repro.sim.kernel import Kernel
 from repro.sim.network import Message, Network
 from repro.sim.process import ProcGen, Process
+from repro.sim.retry import DEFAULT_RPC_RETRY, RetryPolicy
 
-_req_ids = itertools.count(1)
+#: Recently-seen request ids kept per node for duplicate suppression.
+_SEEN_REQUESTS_CAP = 4096
 
 
 class Node:
@@ -34,8 +36,20 @@ class Node:
         self.net = net
         self.addr = addr
         self.alive = True
-        self._procs: Set[Process] = set()
+        # Insertion-ordered (dict keys): crash() interrupts processes in
+        # spawn order, so the schedule never depends on object hashes.
+        self._procs: Dict[Process, None] = {}
         self._pending_calls: Dict[int, Event] = {}
+        # Transport-level at-most-once delivery: the fabric may duplicate
+        # a message (chaos layer), but each request id executes a handler
+        # at most once -- like TCP retransmission dedup.  Application
+        # *retries* use fresh request ids and do reach handlers again,
+        # which is why non-idempotent handlers (the TM's commit) keep
+        # their own decision caches.
+        self._seen_requests: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
+        #: Jitter source for this node's retry backoff (seeded substream:
+        #: deterministic, and independent of every other node's draws).
+        self.retry_rng = kernel.rng.substream(f"retry.{addr}")
         net.register(self, replace=True)
 
     # ------------------------------------------------------------------
@@ -44,8 +58,8 @@ class Node:
     def spawn(self, generator: ProcGen, name: Optional[str] = None) -> Process:
         """Run ``generator`` as a process owned by (and dying with) this node."""
         process = self.kernel.process(generator, name=f"{self.addr}/{name or 'proc'}")
-        self._procs.add(process)
-        process.callbacks.append(lambda _ev, p=process: self._procs.discard(p))
+        self._procs[process] = None
+        process.callbacks.append(lambda _ev, p=process: self._procs.pop(p, None))
         return process
 
     def sleep(self, delay: float) -> Event:
@@ -66,6 +80,7 @@ class Node:
             process.interrupt("crash")
         self._procs.clear()
         self._pending_calls.clear()
+        self._seen_requests.clear()
         self.on_crash()
 
     def on_crash(self) -> None:
@@ -109,7 +124,7 @@ class Node:
         if not self.alive:
             result.fail(NodeDown(f"{self.addr} is down"))
             return result
-        req_id = next(_req_ids)
+        req_id = self.kernel.next_req_id()
         self._pending_calls[req_id] = result
         self.net.send(
             Message(
@@ -128,6 +143,44 @@ class Node:
                 lambda _ev: self._expire_call(req_id, dst, method, timeout)
             )
         return result
+
+    def call_with_retry(
+        self,
+        dst: str,
+        method: str,
+        policy: Optional[RetryPolicy] = None,
+        timeout: Optional[float] = None,
+        retry_on: Tuple[Type[BaseException], ...] = (RpcTimeout,),
+        size: int = 256,
+        **payload: Any,
+    ):
+        """Issue :meth:`call` with retry/backoff per ``policy``.
+
+        (Generator API.)  Retries only the exception types in ``retry_on``
+        -- by default just :class:`RpcTimeout`, since a timeout is the one
+        failure a lossy fabric manufactures out of thin air, while a
+        :class:`RemoteError` usually carries application meaning that a
+        blind retry would mask.  Retrying a request whose *response* was
+        lost re-executes the handler, so callers of non-idempotent methods
+        rely on server-side dedup (e.g. the TM's commit decision cache).
+
+        When the policy gives up, the last failure is re-raised.
+        """
+        policy = policy or DEFAULT_RPC_RETRY
+        start = self.kernel.now
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = yield self.call(
+                    dst, method, timeout=timeout, size=size, **payload
+                )
+                return result
+            except retry_on:
+                if policy.gives_up(attempt, self.kernel.now - start):
+                    raise
+                self.net.rpc_retries += 1
+                yield self.sleep(policy.backoff(attempt, self.retry_rng))
 
     def cast(self, dst: str, method: str, size: int = 256, **payload: Any) -> None:
         """Fire-and-forget request (no reply correlation)."""
@@ -165,6 +218,19 @@ class Node:
             else:
                 event.fail(RemoteError(message.src, message.method, message.error or "?"))
             return
+
+        if message.req_id:
+            # Fabric-level duplicate of a request we already accepted:
+            # suppress it (at-most-once per request id).  The first copy's
+            # reply answers the caller; if that reply is lost the caller
+            # retries with a fresh id, reaching the handler again.
+            dedup_key = (message.src, message.req_id)
+            if dedup_key in self._seen_requests:
+                self.net.duplicates_suppressed += 1
+                return
+            self._seen_requests[dedup_key] = None
+            while len(self._seen_requests) > _SEEN_REQUESTS_CAP:
+                self._seen_requests.popitem(last=False)
 
         handler = getattr(self, f"rpc_{message.method}", None)
         if handler is None:

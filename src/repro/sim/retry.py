@@ -1,0 +1,95 @@
+"""Shared retry/backoff policy for RPC clients.
+
+Every client stack in the library (transactional client, key-value client,
+DFS client, coordination client, recovery agents) retries around transient
+failures.  Under a hostile fabric -- message loss, duplication, delay
+spikes -- ad-hoc fixed-delay loops either hammer a struggling server or
+give up too early, so all of them share one :class:`RetryPolicy`:
+exponential backoff with bounded multiplicative growth, seeded jitter (to
+de-synchronise retry storms deterministically), an optional attempt cap,
+and an optional wall-clock deadline.
+
+The policy itself is a frozen value object; the *state* of a retry loop is
+just the attempt counter and the start time, which keeps it usable both
+from :meth:`repro.sim.node.Node.call_with_retry` and from the richer
+client loops that interleave retries with cache invalidation or
+re-routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter, attempt cap, and deadline.
+
+    Attempt numbering is 1-based and counts *completed* (failed) attempts:
+    :meth:`backoff` returns the pause before attempt ``attempt + 1``, and
+    :meth:`gives_up` decides whether that next attempt happens at all.
+    """
+
+    #: Pause after the first failed attempt.
+    base_delay: float = 0.05
+    #: Growth factor between consecutive pauses.
+    multiplier: float = 2.0
+    #: Upper bound on any single pause (pre-jitter).
+    max_delay: float = 2.0
+    #: Jitter fraction: each pause is drawn uniformly within +/- this
+    #: fraction of its nominal value (0 disables jitter).
+    jitter: float = 0.2
+    #: Total attempts allowed, the first try included.  None: unbounded.
+    max_attempts: Optional[int] = 8
+    #: Total elapsed-time budget in seconds across all attempts and
+    #: pauses.  None: no deadline.
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0:
+            raise ValueError(f"negative base_delay {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier {self.multiplier} would shrink delays")
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay {self.max_delay} below base_delay {self.base_delay}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter fraction {self.jitter} outside [0, 1)")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError(f"max_attempts {self.max_attempts} < 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline {self.deadline} <= 0")
+
+    def backoff(self, attempt: int, rng=None) -> float:
+        """The pause after ``attempt`` failures (attempt >= 1), jittered.
+
+        ``rng`` is any object with a ``jittered(mean, fraction)`` method
+        (see :class:`repro.sim.rng.SeededRng`); None disables jitter,
+        which some unit tests rely on for exact sequences.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt numbering is 1-based, got {attempt}")
+        nominal = min(
+            self.base_delay * (self.multiplier ** (attempt - 1)), self.max_delay
+        )
+        if rng is not None and self.jitter > 0:
+            return rng.jittered(nominal, self.jitter)
+        return nominal
+
+    def gives_up(self, attempt: int, elapsed: float) -> bool:
+        """Whether to stop after ``attempt`` failures and ``elapsed`` s."""
+        if self.max_attempts is not None and attempt >= self.max_attempts:
+            return True
+        if self.deadline is not None and elapsed >= self.deadline:
+            return True
+        return False
+
+
+#: Sensible default for request/response RPCs (begin/abort, lookups).
+DEFAULT_RPC_RETRY = RetryPolicy()
+
+#: Never-give-up variant for operations that must eventually succeed
+#: (e.g. the region-opening recovery gate, client flushes).
+UNBOUNDED_RETRY = RetryPolicy(max_attempts=None)

@@ -25,10 +25,17 @@ from repro.errors import TxnConflict
 from repro.kvstore.client import KvClient
 from repro.sim.events import Interrupt
 from repro.sim.node import Node
+from repro.sim.retry import RetryPolicy
 from repro.txn.context import ABORTED, COMMITTED, FLUSHED, TxnContext
 
 TM_LOG = "tm_log"
 STORE_SYNC = "store_sync"
+
+#: Backoff for TM round-trips.  Retrying a commit whose response was lost
+#: re-submits it; the TM's per-transaction decision cache makes that safe.
+DEFAULT_TM_RETRY = RetryPolicy(
+    base_delay=0.05, multiplier=2.0, max_delay=1.0, jitter=0.2, max_attempts=6
+)
 
 
 class TxnClient:
@@ -42,6 +49,7 @@ class TxnClient:
         client_id: Optional[str] = None,
         durability: str = TM_LOG,
         tracker: Optional[Any] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if durability not in (TM_LOG, STORE_SYNC):
             raise ValueError(f"unknown durability mode {durability!r}")
@@ -50,6 +58,7 @@ class TxnClient:
         self.tm_addr = tm_addr
         self.client_id = client_id or host.addr
         self.durability = durability
+        self.retry_policy = retry_policy or DEFAULT_TM_RETRY
         #: Recovery-tracking hook (Algorithm 1); None disables tracking.
         self.tracker = tracker
         self._local_ids = itertools.count(1)
@@ -60,8 +69,9 @@ class TxnClient:
     # ------------------------------------------------------------------
     def begin(self):
         """Start a transaction; returns its :class:`TxnContext`."""
-        reply = yield self.host.call(
-            self.tm_addr, "begin", timeout=10.0, client_id=self.client_id
+        reply = yield from self.host.call_with_retry(
+            self.tm_addr, "begin", policy=self.retry_policy, timeout=10.0,
+            client_id=self.client_id,
         )
         self.stats["begun"] += 1
         return TxnContext(
@@ -130,8 +140,8 @@ class TxnClient:
         ctx.transition(ABORTED)
         ctx.abort_reason = "application abort"
         self.stats["aborted"] += 1
-        yield self.host.call(
-            self.tm_addr, "abort", timeout=10.0,
+        yield from self.host.call_with_retry(
+            self.tm_addr, "abort", policy=self.retry_policy, timeout=10.0,
             client_id=self.client_id, txn_id=ctx.txn_id,
         )
         return ctx
@@ -152,9 +162,13 @@ class TxnClient:
             (table, row, column, value)
             for (table, row, column), value in sorted(ctx.write_set.writes.items())
         ]
-        reply = yield self.host.call(
+        # Retried commits are safe: the TM's decision cache returns the
+        # original verdict if our first request got through but the
+        # response was lost (or the fabric duplicated the request).
+        reply = yield from self.host.call_with_retry(
             self.tm_addr,
             "commit",
+            policy=self.retry_policy,
             timeout=30.0,
             size=max(96 * len(writes), 96),
             client_id=self.client_id,

@@ -15,9 +15,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import TxnSettings
+from repro.sim.events import Interrupt
 from repro.sim.kernel import Kernel
 from repro.sim.network import Network
 from repro.sim.node import Node
@@ -55,7 +57,22 @@ class TransactionManager(Node):
             self.log = RecoveryLog(self, self.settings)
         self.cpu = shared_cpu or Resource(kernel, capacity=self.settings.rpc_workers)
         self._txn_ids = itertools.count(1)
-        self.stats = {"begins": 0, "commits": 0, "aborts": 0, "read_only": 0}
+        self.stats = {
+            "begins": 0,
+            "commits": 0,
+            "aborts": 0,
+            "read_only": 0,
+            "duplicate_commits": 0,
+        }
+        # Idempotent commit handling: remember each transaction's verdict
+        # so a retried (response lost) or duplicated commit request
+        # returns the original decision instead of re-certifying -- a
+        # second certification would conflict with the transaction's own
+        # first commit and double-count it.  In-flight duplicates park on
+        # an event until the first request decides.
+        self._decisions: "OrderedDict[Tuple[str, int], dict]" = OrderedDict()
+        self._deciding: Dict[Tuple[str, int], "object"] = {}
+        self._aborted_seen: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
         # Flushed-prefix visibility tracking ("flushed" snapshot mode): a
         # global analogue of the client-side FQ/FQ' queues.
         self._visible_ts = 0
@@ -96,7 +113,54 @@ class TransactionManager(Node):
         ``{"status": "aborted", "conflict_key": key}``.  With
         ``log_commit`` the reply is sent only after the write-set is
         durable in the recovery log (group commit).
+
+        Idempotent per ``(client_id, txn_id)``: repeats -- whether from a
+        client retry after a lost response or a fabric-level duplicate --
+        return the original verdict and never certify or log twice.
         """
+        key = (client_id, txn_id)
+        cached = self._decisions.get(key)
+        if cached is not None:
+            self.stats["duplicate_commits"] += 1
+            return dict(cached)
+        gate = self._deciding.get(key)
+        if gate is not None:
+            # The first request is still certifying or waiting on the
+            # group-commit sync; piggyback on its outcome.
+            self.stats["duplicate_commits"] += 1
+            reply = yield gate
+            return dict(reply)
+        gate = self.kernel.event()
+        self._deciding[key] = gate
+        try:
+            reply = yield from self._decide_commit(
+                client_id, txn_id, start_ts, writes, log_commit
+            )
+        except Interrupt:
+            self._deciding.pop(key, None)
+            raise
+        except Exception as exc:
+            self._deciding.pop(key, None)
+            if not gate.triggered:
+                gate.fail(exc)
+            raise
+        self._deciding.pop(key, None)
+        self._decisions[key] = reply
+        while len(self._decisions) > self.settings.commit_cache_size:
+            self._decisions.popitem(last=False)
+        if not gate.triggered:
+            gate.succeed(reply)
+        return dict(reply)
+
+    def _decide_commit(
+        self,
+        client_id: str,
+        txn_id: int,
+        start_ts: int,
+        writes: List[WireWrite],
+        log_commit: bool,
+    ):
+        """Certify, stamp, and (optionally) log one commit.  (Generator.)"""
         yield from self.cpu.use(self.settings.op_service_time)
         if not writes:
             self.stats["read_only"] += 1
@@ -142,7 +206,14 @@ class TransactionManager(Node):
 
     def rpc_abort(self, sender: str, client_id: str, txn_id: int) -> bool:
         """Abort notification.  The write-set was buffered client-side and
-        is simply discarded there; the TM only counts it."""
+        is simply discarded there; the TM only counts it.  Idempotent:
+        a retried/duplicated abort is acknowledged but not re-counted."""
+        key = (client_id, txn_id)
+        if key in self._aborted_seen:
+            return True
+        self._aborted_seen[key] = None
+        while len(self._aborted_seen) > self.settings.commit_cache_size:
+            self._aborted_seen.popitem(last=False)
         self.stats["aborts"] += 1
         return True
 

@@ -10,9 +10,18 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import SessionExpired, ZkError
+from repro.errors import RemoteError, RpcTimeout, SessionExpired, ZkError
 from repro.sim.events import Interrupt
 from repro.sim.node import Node
+from repro.sim.retry import RetryPolicy
+
+#: Timed-out reads are retried a couple of times before the error
+#: surfaces.  Kept deliberately tight: coordination callers (session
+#: watchers, heartbeat publishers) have their own liveness deadlines and
+#: must see a partition as a failure quickly, not mask it with backoff.
+DEFAULT_ZK_RETRY = RetryPolicy(
+    base_delay=0.1, multiplier=2.0, max_delay=0.4, jitter=0.2, max_attempts=3
+)
 
 
 class ZkWatcherMixin:
@@ -35,6 +44,7 @@ class ZkClient:
         zk_addr: str = "zk",
         ping_interval: float = 0.5,
         op_timeout: float = 2.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.zk_addr = zk_addr
@@ -42,7 +52,18 @@ class ZkClient:
         #: Deadline on every coordination call; a partitioned host must see
         #: failures, not hangs (the paper treats partitions as crashes).
         self.op_timeout = op_timeout
+        #: Retry shaping for the idempotent tree reads/writes below.
+        #: ``create`` is *not* retried through this: a sequential or
+        #: ephemeral create that executed but lost its reply must surface
+        #: the timeout to the caller rather than silently re-execute.
+        self.retry_policy = retry_policy or DEFAULT_ZK_RETRY
         self.session_id: Optional[int] = None
+        #: Invoked (from the kernel loop, not from inside the ping
+        #: process) when the ping loop discovers the session has expired.
+        #: Hosts that advertise liveness through ephemerals use this to
+        #: self-fence: their ephemeral is gone, so the rest of the system
+        #: already considers them dead.
+        self.on_session_loss: Optional[Callable[[], None]] = None
         self._watch_callbacks: Dict[str, List[Callable[[str, str], None]]] = {}
         if isinstance(host, ZkWatcherMixin):
             host._zk_client = self
@@ -83,14 +104,31 @@ class ZkClient:
                         session_id=self.session_id,
                     )
                 except ZkError:
-                    self.session_id = None
+                    self._session_lost()
                     return
+                except RemoteError as exc:
+                    # The service's own exceptions arrive wrapped; an
+                    # expired session is the one that ends this loop.
+                    if exc.carries(SessionExpired):
+                        self._session_lost()
+                        return
+                    continue
                 except Exception:
                     # Transient unreachability: keep trying; the service will
                     # expire us if we stay dark past the session timeout.
                     continue
         except Interrupt:
             return
+
+    def _session_lost(self) -> None:
+        self.session_id = None
+        callback = self.on_session_loss
+        if callback is not None:
+            # Deliver from the kernel loop: the handler may crash the
+            # host, which interrupts every process on it -- including
+            # the ping loop this is called from.
+            ev = self.host.kernel.timeout(0.0)
+            ev.callbacks.append(lambda _ev: callback())
 
     # ------------------------------------------------------------------
     # tree operations (generator API)
@@ -117,48 +155,76 @@ class ZkClient:
         )
         return result
 
-    def set_data(self, path: str, data: Any, version: int = -1):
-        """Write znode data; returns the new version."""
-        result = yield self.host.call(
-            self.zk_addr, "set", timeout=self.op_timeout,
+    def set_data(self, path: str, data: Any, version: int = -1, retry: bool = True):
+        """Write znode data; returns the new version.
+
+        Retried on timeout: unconditional sets (``version=-1``, the only
+        mode our callers use) are idempotent, and versioned sets that
+        re-execute fail the version check -- both are safe to repeat.
+        Heartbeat publishers pass ``retry=False``: a missed heartbeat is
+        their liveness signal and must not be masked by backoff.
+        """
+        if not retry:
+            result = yield self.host.call(
+                self.zk_addr, "set", timeout=self.op_timeout,
+                path=path, data=data, version=version,
+            )
+            return result
+        result = yield from self.host.call_with_retry(
+            self.zk_addr, "set", policy=self.retry_policy,
+            timeout=self.op_timeout, retry_on=(RpcTimeout,),
             path=path, data=data, version=version,
         )
         return result
 
-    def get(self, path: str, watch: bool = False):
+    def get(self, path: str, watch: bool = False, retry: bool = True):
         """Read a znode snapshot dict."""
-        result = yield self.host.call(
-            self.zk_addr, "get", timeout=self.op_timeout, path=path, watch=watch
+        if not retry:
+            result = yield self.host.call(
+                self.zk_addr, "get", timeout=self.op_timeout, path=path,
+                watch=watch,
+            )
+            return result
+        result = yield from self.host.call_with_retry(
+            self.zk_addr, "get", policy=self.retry_policy,
+            timeout=self.op_timeout, retry_on=(RpcTimeout,),
+            path=path, watch=watch,
         )
         return result
 
     def exists(self, path: str, watch: bool = False):
         """Existence check."""
-        result = yield self.host.call(
-            self.zk_addr, "exists", timeout=self.op_timeout, path=path,
-            watch=watch,
+        result = yield from self.host.call_with_retry(
+            self.zk_addr, "exists", policy=self.retry_policy,
+            timeout=self.op_timeout, retry_on=(RpcTimeout,),
+            path=path, watch=watch,
         )
         return result
 
     def delete(self, path: str):
         """Delete a znode (idempotent)."""
-        result = yield self.host.call(
-            self.zk_addr, "delete", timeout=self.op_timeout, path=path
+        result = yield from self.host.call_with_retry(
+            self.zk_addr, "delete", policy=self.retry_policy,
+            timeout=self.op_timeout, retry_on=(RpcTimeout,),
+            path=path,
         )
         return result
 
     def get_children(self, path: str, watch: bool = False):
         """Direct children of ``path``."""
-        result = yield self.host.call(
-            self.zk_addr, "get_children", timeout=self.op_timeout,
+        result = yield from self.host.call_with_retry(
+            self.zk_addr, "get_children", policy=self.retry_policy,
+            timeout=self.op_timeout, retry_on=(RpcTimeout,),
             path=path, watch=watch,
         )
         return result
 
     def multi_get(self, paths: List[str]):
         """Batched znode reads."""
-        result = yield self.host.call(
-            self.zk_addr, "multi_get", timeout=self.op_timeout, paths=paths
+        result = yield from self.host.call_with_retry(
+            self.zk_addr, "multi_get", policy=self.retry_policy,
+            timeout=self.op_timeout, retry_on=(RpcTimeout,),
+            paths=paths,
         )
         return result
 

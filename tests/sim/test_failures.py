@@ -1,0 +1,81 @@
+"""Unit tests for declarative failure schedules and their validation."""
+
+import pytest
+
+from repro.sim import Kernel, Network, Node
+from repro.sim.failures import CrashNode, Custom, FailureSchedule, Fault, Partition
+
+
+def make_net():
+    k = Kernel(seed=0)
+    net = Network(k)
+    nodes = {addr: Node(k, net, addr) for addr in ("a", "b", "c")}
+    return k, net, nodes
+
+
+class TestValidation:
+    def test_negative_offset_rejected(self):
+        k, net, _nodes = make_net()
+        schedule = FailureSchedule().crash(-1.0, "a")
+        with pytest.raises(ValueError):
+            schedule.inject(k, net)
+
+    def test_partition_heal_must_follow_cut(self):
+        k, net, _nodes = make_net()
+        schedule = FailureSchedule().partition(2.0, ["a"], ["b"], heal_at=2.0)
+        with pytest.raises(ValueError):
+            schedule.inject(k, net)
+
+    def test_unknown_fault_type_rejected(self):
+        k, net, _nodes = make_net()
+        schedule = FailureSchedule()
+        schedule.faults.append("definitely not a fault")
+        with pytest.raises(TypeError):
+            schedule.inject(k, net)
+
+    def test_fault_union_covers_the_three_kinds(self):
+        crash = CrashNode(at=1.0, addrs=("a",))
+        cut = Partition(at=1.0, group_a=("a",), group_b=("b",), heal_at=2.0)
+        custom = Custom(at=1.0, action=lambda: None)
+        for fault in (crash, cut, custom):
+            FailureSchedule._validate(fault)  # must not raise
+        assert set(getattr(Fault, "__args__")) == {CrashNode, Partition, Custom}
+
+
+class TestInjection:
+    def test_crash_fires_at_offset(self):
+        k, net, nodes = make_net()
+        armed = FailureSchedule().crash(1.0, "a").inject(k, net)
+        assert armed == ["t+1s crash a"]
+        k.run(until=0.5)
+        assert nodes["a"].alive
+        k.run(until=1.5)
+        assert not nodes["a"].alive
+
+    def test_partition_window_cuts_then_heals(self):
+        k, net, _nodes = make_net()
+        FailureSchedule().partition(1.0, ["b"], ["c"], heal_at=2.0).inject(k, net)
+        assert net.reachable("b", "c")
+        k.run(until=1.5)
+        assert not net.reachable("b", "c")
+        k.run(until=2.5)
+        assert net.reachable("b", "c")
+
+    def test_custom_action_runs(self):
+        k, net, _nodes = make_net()
+        fired = []
+        armed = FailureSchedule().custom(
+            0.5, lambda: fired.append(True), label="flag"
+        ).inject(k, net)
+        assert armed == ["t+0.5s flag"]
+        k.run(until=1.0)
+        assert fired == [True]
+
+    def test_offsets_are_relative_to_injection_time(self):
+        k, net, nodes = make_net()
+        k.run(until=5.0)
+        FailureSchedule().crash(1.0, "b").inject(k, net)
+        k.run(until=5.5)
+        assert nodes["b"].alive
+        k.run(until=6.5)
+        assert not nodes["b"].alive

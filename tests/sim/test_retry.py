@@ -1,0 +1,164 @@
+"""Unit tests for the shared RPC retry/backoff policy."""
+
+import pytest
+
+from repro.errors import RemoteError, RpcTimeout
+from repro.sim import DEFAULT_RPC_RETRY, UNBOUNDED_RETRY, Kernel, Network, Node, RetryPolicy
+
+
+class FixedRng:
+    """Stub jitter source: multiplies the mean and records the calls."""
+
+    def __init__(self, factor=1.5):
+        self.factor = factor
+        self.calls = []
+
+    def jittered(self, mean, fraction):
+        self.calls.append((mean, fraction))
+        return mean * self.factor
+
+
+class TestBackoff:
+    def test_exponential_sequence_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.8, jitter=0.2)
+        assert [policy.backoff(n) for n in range(1, 7)] == [
+            0.1, 0.2, 0.4, 0.8, 0.8, 0.8,
+        ]
+
+    def test_default_policy_sequence(self):
+        assert [DEFAULT_RPC_RETRY.backoff(n) for n in range(1, 8)] == [
+            0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 2.0,
+        ]
+
+    def test_jitter_routes_through_rng(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=1.0, jitter=0.25)
+        rng = FixedRng(factor=1.5)
+        assert policy.backoff(2, rng) == pytest.approx(0.3)
+        assert rng.calls == [(0.2, 0.25)]
+
+    def test_zero_jitter_ignores_rng(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.0)
+        rng = FixedRng()
+        assert policy.backoff(1, rng) == 0.1
+        assert rng.calls == []
+
+    def test_attempt_numbering_is_one_based(self):
+        with pytest.raises(ValueError):
+            DEFAULT_RPC_RETRY.backoff(0)
+
+
+class TestGivesUp:
+    def test_attempt_cap(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.gives_up(2, elapsed=0.0)
+        assert policy.gives_up(3, elapsed=0.0)
+
+    def test_deadline(self):
+        policy = RetryPolicy(max_attempts=None, deadline=10.0)
+        assert not policy.gives_up(50, elapsed=9.9)
+        assert policy.gives_up(1, elapsed=10.0)
+
+    def test_unbounded_policy_never_gives_up(self):
+        assert not UNBOUNDED_RETRY.gives_up(10_000, elapsed=1e9)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_delay": -0.1},
+            {"multiplier": 0.5},
+            {"base_delay": 0.5, "max_delay": 0.1},
+            {"jitter": 1.0},
+            {"jitter": -0.01},
+            {"max_attempts": 0},
+            {"deadline": 0.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# call_with_retry against a real (mis)behaving fabric
+# ----------------------------------------------------------------------
+
+class EchoNode(Node):
+    def rpc_echo(self, sender, text):
+        return f"{text} from {sender}"
+
+    def rpc_boom(self, sender):
+        raise ValueError("kapow")
+
+
+def make_pair(seed=0):
+    k = Kernel(seed=seed)
+    net = Network(k)
+    a = EchoNode(k, net, "a")
+    b = EchoNode(k, net, "b")
+    return k, net, a, b
+
+
+def run_retry(k, caller, *args, **kwargs):
+    result = {}
+
+    def proc():
+        try:
+            result["value"] = yield from caller.call_with_retry(*args, **kwargs)
+        except Exception as exc:
+            result["error"] = exc
+
+    k.process(proc())
+    k.run()
+    return result
+
+
+def test_retries_until_partition_heals():
+    k, net, a, _b = make_pair()
+    net.partition(["a"], ["b"])
+    heal = k.timeout(1.0)
+    heal.callbacks.append(lambda _ev: net.heal())
+    policy = RetryPolicy(base_delay=0.1, jitter=0.0, max_attempts=None)
+    result = run_retry(k, a, "b", "echo", policy=policy, timeout=0.25, text="hi")
+    assert result["value"] == "hi from a"
+    assert k.now >= 1.0
+    assert net.rpc_retries >= 2
+
+
+def test_gives_up_after_max_attempts():
+    k, net, a, _b = make_pair()
+    net.partition(["a"], ["b"])  # never heals
+    policy = RetryPolicy(base_delay=0.05, jitter=0.0, max_attempts=3)
+    result = run_retry(k, a, "b", "echo", policy=policy, timeout=0.1, text="hi")
+    assert isinstance(result["error"], RpcTimeout)
+    assert net.rpc_retries == 2  # the give-up attempt is not a retry
+    assert net.messages_sent == 3  # one request per attempt
+
+
+def test_remote_errors_are_not_retried_by_default():
+    k, net, a, _b = make_pair()
+    result = run_retry(k, a, "b", "boom", timeout=1.0)
+    assert isinstance(result["error"], RemoteError)
+    assert net.rpc_retries == 0
+
+
+def test_retry_on_widens_the_retried_exceptions():
+    k, net, a, b = make_pair()
+
+    flaky = {"left": 2}
+
+    def rpc_flaky(sender):
+        if flaky["left"] > 0:
+            flaky["left"] -= 1
+            raise ValueError("transient")
+        return "ok"
+
+    b.rpc_flaky = rpc_flaky
+    policy = RetryPolicy(base_delay=0.05, jitter=0.0, max_attempts=5)
+    result = run_retry(
+        k, a, "b", "flaky", policy=policy, timeout=1.0,
+        retry_on=(RpcTimeout, RemoteError),
+    )
+    assert result["value"] == "ok"
+    assert net.rpc_retries == 2

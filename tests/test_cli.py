@@ -30,6 +30,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_chaos_args(self):
+        args = build_parser().parse_args(["chaos", "--seeds", "4"])
+        assert args.seeds == 4 and args.seed is None and not args.trace
+        args = build_parser().parse_args(["chaos", "--seed", "9", "--trace"])
+        assert args.seed == 9 and args.trace
+
 
 class TestCommands:
     def test_demo_reports_no_loss(self, capsys):
@@ -58,6 +64,13 @@ class TestCommands:
         assert "throughput (tps)" in out
         assert "response time (ms)" in out
         assert "fragments replayed" in out
+
+    def test_chaos_single_seed_reports_ok(self, capsys):
+        rc = main(["chaos", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "seed    2: OK" in out
+        assert "all seeds upheld the guarantee" in out
 
 
 class TestAsciiChart:

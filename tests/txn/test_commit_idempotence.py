@@ -1,0 +1,102 @@
+"""The TM's commit decision cache: retried commits never certify twice.
+
+Under a lossy fabric a client whose commit *response* vanished must
+retry; the retry reaches the handler with a fresh request id, so the
+transport dedup cannot help.  The transaction manager therefore caches
+the verdict per ``(client_id, txn_id)`` and replays it.
+"""
+
+from repro.sim import Kernel, Network, Node
+from repro.txn.manager import TransactionManager
+
+
+def make_tm(seed=3):
+    k = Kernel(seed=seed)
+    net = Network(k)
+    tm = TransactionManager(k, net, "tm")
+    caller = Node(k, net, "c1")
+    return k, net, tm, caller
+
+
+def drive(k, gen):
+    out = {}
+
+    def proc():
+        out["value"] = yield from gen
+
+    k.run_until_complete(k.process(proc()))
+    return out["value"]
+
+
+def begin(k, caller):
+    def proc():
+        reply = yield caller.call("tm", "begin", timeout=5.0, client_id="c1")
+        return reply
+
+    return drive(k, proc())
+
+
+def commit(caller, txn_id, start_ts, writes):
+    return caller.call(
+        "tm", "commit", timeout=5.0,
+        client_id="c1", txn_id=txn_id, start_ts=start_ts, writes=writes,
+    )
+
+
+def test_retried_commit_returns_cached_verdict():
+    k, _net, tm, caller = make_tm()
+    opened = begin(k, caller)
+    writes = [("t", "r1", "f", "v1")]
+
+    def proc():
+        first = yield commit(caller, opened["txn_id"], opened["start_ts"], writes)
+        again = yield commit(caller, opened["txn_id"], opened["start_ts"], writes)
+        return first, again
+
+    first, again = drive(k, proc())
+    assert first["status"] == "committed"
+    assert again == first  # same verdict, same commit timestamp
+    assert tm.stats["commits"] == 1
+    assert tm.stats["duplicate_commits"] == 1
+
+
+def test_inflight_duplicate_parks_on_the_first_decision():
+    k, _net, tm, caller = make_tm()
+    opened = begin(k, caller)
+    writes = [("t", "r2", "f", "v2")]
+
+    def proc():
+        # Two concurrent commits for the same transaction: the second
+        # arrives while the first is still certifying/group-committing
+        # and must piggyback on its outcome, not re-certify.
+        ev1 = commit(caller, opened["txn_id"], opened["start_ts"], writes)
+        ev2 = commit(caller, opened["txn_id"], opened["start_ts"], writes)
+        r1 = yield ev1
+        r2 = yield ev2
+        return r1, r2
+
+    r1, r2 = drive(k, proc())
+    assert r1 == r2
+    assert r1["status"] == "committed"
+    assert tm.stats["commits"] == 1
+    assert tm.stats["duplicate_commits"] == 1
+
+
+def test_distinct_transactions_are_not_deduplicated():
+    k, _net, tm, caller = make_tm()
+    first = begin(k, caller)
+    second = begin(k, caller)
+
+    def proc():
+        r1 = yield commit(caller, first["txn_id"], first["start_ts"],
+                          [("t", "r3", "f", "a")])
+        r2 = yield commit(caller, second["txn_id"], second["start_ts"],
+                          [("t", "r4", "f", "b")])
+        return r1, r2
+
+    r1, r2 = drive(k, proc())
+    assert r1["status"] == "committed"
+    assert r2["status"] == "committed"
+    assert r1["commit_ts"] != r2["commit_ts"]
+    assert tm.stats["commits"] == 2
+    assert tm.stats["duplicate_commits"] == 0
