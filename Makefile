@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-paper examples demo clean
+.PHONY: install test chaos chaos-disk bench bench-paper examples demo clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -15,6 +15,9 @@ test-verbose:
 
 chaos:
 	$(PYTHON) -m repro chaos --seeds 20
+
+chaos-disk:
+	$(PYTHON) -m repro chaos --seeds 20 --disk-faults --json chaos-disk-report.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

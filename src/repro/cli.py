@@ -146,24 +146,61 @@ def cmd_failover(args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Seed-swept chaos storms auditing the durability guarantee."""
-    from repro.sim.chaos import run_chaos
+    import dataclasses
+    import json
+
+    from repro.metrics import storage_table
+    from repro.sim.chaos import disk_chaos_settings, run_chaos
 
     seeds = [args.seed] if args.seed is not None else list(range(1, args.seeds + 1))
     if not seeds:
         print("error: --seeds must be >= 1", file=sys.stderr)
         return 2
+    settings = disk_chaos_settings() if args.disk_faults else None
     print(
         f"chaos sweep over {len(seeds)} seed(s): loss, duplication, delay "
         f"spikes, partitions, machine and client crashes"
+        + (", disk faults" if args.disk_faults else "")
     )
     failed = []
+    reports = []
     for seed in seeds:
-        report = run_chaos(seed, progress=print if args.trace else None)
+        report = run_chaos(
+            seed, settings=settings, progress=print if args.trace else None
+        )
+        reports.append(report)
         print(report.summary())
         for violation in report.violations:
             print(f"  violation: {violation}")
         if not report.ok:
             failed.append(seed)
+    if args.disk_faults:
+        totals = {"disks": {}, "integrity": {}, "salvage_reports": []}
+        for report in reports:
+            for name, counters in report.storage.get("disks", {}).items():
+                disk = totals["disks"].setdefault(name, {})
+                for key, value in counters.items():
+                    disk[key] = disk.get(key, 0) + value
+            for key, value in report.storage.get("integrity", {}).items():
+                totals["integrity"][key] = totals["integrity"].get(key, 0) + value
+            totals["salvage_reports"].extend(
+                report.storage.get("salvage_reports", [])
+            )
+        print(storage_table(totals, title="storage (all seeds)"))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(
+                {
+                    "seeds": seeds,
+                    "disk_faults": bool(args.disk_faults),
+                    "failed_seeds": failed,
+                    "reports": [dataclasses.asdict(r) for r in reports],
+                },
+                fh,
+                indent=2,
+                default=str,
+            )
+        print(f"wrote report JSON to {args.json}")
     if failed:
         print(f"FAILED seeds: {failed}")
         return 1
@@ -210,6 +247,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run one specific seed instead of a sweep")
     chaos.add_argument("--trace", action="store_true",
                        help="print the fault trace as it happens")
+    chaos.add_argument("--disk-faults", action="store_true",
+                       help="also inject storage faults (write errors, lying "
+                            "fsyncs, latent corruption, torn writes)")
+    chaos.add_argument("--json", metavar="PATH", default=None,
+                       help="write the full sweep report as JSON")
     chaos.set_defaults(func=cmd_chaos)
 
     return parser

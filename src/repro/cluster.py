@@ -32,6 +32,7 @@ from repro.kvstore.sstable import build_blocks, estimate_block_bytes
 from repro.kvstore.wal import SYNC
 from repro.sim import Kernel, LatencyModel, Network, Node, Resource
 from repro.txn import STORE_SYNC, TM_LOG, TransactionManager, TxnClient
+from repro.txn.log import RecoveryLog
 from repro.zk import ZkClient, ZkService, ZkWatcherMixin
 
 TABLE = "usertable"
@@ -425,3 +426,37 @@ class SimCluster:
     def tm_stats(self) -> dict:
         """Commit/log counters from the transaction manager."""
         return self.run(self.rpc("tm", "tm_stats"))
+
+    def storage_stats(self) -> dict:
+        """Storage-layer snapshot: per-disk IO/fault counters, read
+        integrity counters, and every non-clean salvage report.
+
+        The same pattern as :meth:`net_stats` for the fabric: the chaos
+        harness embeds this in its report so injected torn/corrupt
+        records are always accounted for -- salvaged, repaired, or
+        truncated, never silently replayed.
+        """
+        disks = {}
+        for dn in self.datanodes:
+            disks[dn.addr] = dn.disk.stats()
+            disks[dn.addr]["repairs"] = dn.repairs_received
+        for shard in self.logger_shards:
+            disks[shard.addr] = shard.disk.stats()
+        tm_log = getattr(self.tm, "log", None)
+        if isinstance(tm_log, RecoveryLog):
+            disks[tm_log.disk.name] = tm_log.disk.stats()
+        readers = [self.master.dfs] + [rs.dfs for rs in self.servers]
+        integrity = {
+            "corrupt_reads": sum(r.corrupt_reads for r in readers),
+            "records_repaired": sum(r.records_repaired for r in readers),
+            "salvages": sum(r.salvages for r in readers),
+        }
+        salvage = [rep.to_wire() for r in readers for rep in r.salvage_reports]
+        if isinstance(tm_log, RecoveryLog):
+            integrity["log_lost_unsynced"] = tm_log.stats.lost_unsynced
+            salvage.extend(rep.to_wire() for rep in tm_log.salvage_reports)
+        return {
+            "disks": disks,
+            "integrity": integrity,
+            "salvage_reports": salvage,
+        }

@@ -33,12 +33,38 @@ class NetworkSettings:
 
 
 @dataclass
+class DiskFaultSettings:
+    """Storage fault-injection knobs (all zero by default: perfect media).
+
+    Faults draw from a dedicated per-device RNG substream, so enabling
+    them never perturbs the latency-jitter sequence -- the same contract
+    the network chaos layer gives.
+    """
+
+    #: Probability that one synchronous write fails with a transient I/O
+    #: error (the write is not applied; callers retry).
+    write_error_probability: float = 0.0
+    #: Probability that one fsync *claims* success but leaves the data in
+    #: the volatile cache -- a lying fsync.  The loss only materialises if
+    #: the host crashes before a later, genuine sync covers the data.
+    lost_fsync_probability: float = 0.0
+    #: Probability that any one record lands latently corrupted on the
+    #: medium (bit rot); detected by record checksums at read time.
+    corruption_probability: float = 0.0
+    #: Probability that a crash tears the write in flight: a prefix of the
+    #: un-synced tail reaches the platter plus one half-written record,
+    #: instead of a clean discard.
+    torn_write_probability: float = 0.0
+
+
+@dataclass
 class DiskSettings:
     """Stable-storage device model."""
 
     sync_latency: float = 0.004
     read_latency: float = 0.002
     bytes_per_second: float = 80e6
+    faults: DiskFaultSettings = field(default_factory=DiskFaultSettings)
 
 
 @dataclass

@@ -4,15 +4,23 @@ The client resolves replica sets through the namenode (with caching),
 drives the append pipeline starting at the first replica, and falls over to
 surviving replicas on reads.  It is a plain component, not a node: its RPCs
 are issued by -- and die with -- the host.
+
+Reads verify record checksums: a replica that answers with torn or
+corrupt records is skipped in favour of a healthy one and repaired in the
+background from the verified copy.  :meth:`DfsClient.read_all_salvaged`
+additionally merges across replicas record-by-record and truncates at the
+first record *no* replica holds intact -- the log-salvage read used by
+recovery paths, which must never silently replay damaged records.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import DfsError, FileNotFound, RpcError, RpcTimeout
+from repro.errors import CorruptRecord, DfsError, FileNotFound, RpcError, RpcTimeout
 from repro.sim.node import Node
 from repro.sim.retry import RetryPolicy
+from repro.storage import SalvageReport, salvage_prefix
 
 WireRecord = Tuple[Any, int]
 
@@ -50,6 +58,13 @@ class DfsClient:
         self.replication = replication
         self.retry_policy = retry_policy or DEFAULT_DFS_RETRY
         self._replica_cache: Dict[str, List[str]] = {}
+        #: Integrity counters: replica responses containing damaged
+        #: records, repair casts issued, and non-clean salvage scans.
+        self.corrupt_reads = 0
+        self.records_repaired = 0
+        self.salvages = 0
+        #: Non-clean reports from :meth:`read_all_salvaged` (audit trail).
+        self.salvage_reports: List[SalvageReport] = []
 
     def _backoff(self, attempt: int):
         """Timeout event for the pause after ``attempt`` failed tries."""
@@ -227,9 +242,16 @@ class DfsClient:
         raise DfsError(f"sync of {path!r} failed: {last_error!r}")
 
     def read(self, path: str, start: int = 0, count: Optional[int] = None):
-        """Read records, trying each replica in turn until one answers."""
+        """Read records, trying each replica until one answers *verified*.
+
+        A replica whose response contains torn/corrupt records is skipped
+        (counted in ``corrupt_reads``); once a fully-verified response is
+        found, the damaged replicas are repaired in the background from
+        it.  Returns ``(payload, nbytes)`` pairs.
+        """
         replicas = yield from self._replicas(path)
         last_error: Optional[Exception] = None
+        damaged: List[Tuple[str, List[int]]] = []
         for dn in replicas:
             if not self.host.net.reachable(self.host.addr, dn):
                 continue
@@ -237,12 +259,109 @@ class DfsClient:
                 result = yield self.host.call(
                     dn, "read", timeout=5.0, path=path, start=start, count=count
                 )
-                return result
             except (RpcError, FileNotFound) as exc:
                 last_error = exc
+                continue
+            bad = [i for i, (_p, _n, state) in enumerate(result) if state != "ok"]
+            if not bad:
+                self._repair(path, start, result, damaged)
+                return [(p, n) for p, n, _state in result]
+            self.corrupt_reads += 1
+            damaged.append((dn, bad))
+            last_error = CorruptRecord(
+                f"{path!r}: {len(bad)} damaged record(s) on {dn}"
+            )
         raise DfsError(f"no live replica could serve {path!r}: {last_error!r}")
+
+    def _repair(
+        self,
+        path: str,
+        start: int,
+        clean: List[Tuple[Any, int, str]],
+        damaged: List[Tuple[str, List[int]]],
+    ) -> None:
+        """Push verified copies at the replicas that answered damaged."""
+        for dn, bad in damaged:
+            for i in bad:
+                if i >= len(clean):
+                    continue
+                payload, nbytes, _state = clean[i]
+                self.host.cast(
+                    dn, "repair_record", path=path, index=start + i,
+                    payload=payload, nbytes=nbytes, size=max(nbytes, 64),
+                )
+                self.records_repaired += 1
 
     def read_all(self, path: str):
         """Read the entire record stream of ``path``."""
         result = yield from self.read(path, 0, None)
         return result
+
+    def read_all_salvaged(self, path: str):
+        """Salvaging whole-file read for recovery paths.  (Generator API.)
+
+        Reads every reachable replica, merges record-by-record (the first
+        replica holding a verified copy of each record wins), and
+        truncates the merged stream at the first record *no* replica
+        holds intact -- everything past a tear is garbage even if later
+        checksums verify.  Damaged-but-salvageable copies are repaired in
+        the background.  Returns ``(records, report)`` where records are
+        ``(payload, nbytes)`` pairs; damage is always surfaced through
+        the :class:`SalvageReport`, never silently dropped.
+        """
+        replicas = yield from self._replicas(path)
+        responses: List[Tuple[str, List[Tuple[Any, int, str]]]] = []
+        last_error: Optional[Exception] = None
+        for dn in replicas:
+            if not self.host.net.reachable(self.host.addr, dn):
+                continue
+            try:
+                result = yield self.host.call(
+                    dn, "read", timeout=5.0, path=path, start=0, count=None
+                )
+                responses.append((dn, result))
+            except (RpcError, FileNotFound) as exc:
+                last_error = exc
+        if not responses:
+            raise DfsError(f"no live replica could serve {path!r}: {last_error!r}")
+        total = max(len(result) for _dn, result in responses)
+        merged: List[Tuple[Any, int, str]] = []
+        salvaged_from_peer = 0
+        for index in range(total):
+            best: Optional[Tuple[Any, int, str]] = None
+            saw_damage = False
+            for _dn, result in responses:
+                if index >= len(result):
+                    continue
+                payload, nbytes, state = result[index]
+                if state == "ok":
+                    if best is None or best[2] != "ok":
+                        best = (payload, nbytes, "ok")
+                else:
+                    # Keep scanning even after an intact copy: damaged
+                    # peers must still be observed (and later repaired).
+                    saw_damage = True
+                    if best is None:
+                        best = (payload, nbytes, state)
+            if best is None:  # pragma: no cover - total comes from responses
+                break
+            if best[2] == "ok" and saw_damage:
+                salvaged_from_peer += 1
+            merged.append(best)
+        records, report = salvage_prefix(path, merged)
+        report.repaired = salvaged_from_peer
+        report.replicas_missing = len(replicas) - len(responses)
+        for dn, result in responses:
+            for index in range(min(len(result), len(records))):
+                if result[index][2] == "ok":
+                    continue
+                payload, nbytes = records[index]
+                self.host.cast(
+                    dn, "repair_record", path=path, index=index,
+                    payload=payload, nbytes=nbytes, size=max(nbytes, 64),
+                )
+                self.records_repaired += 1
+        if not report.clean:
+            self.salvages += 1
+            self.salvage_reports.append(report)
+        return records, report

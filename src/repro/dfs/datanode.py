@@ -6,10 +6,20 @@ That pipeline cost is the whole reason synchronous WAL persistence is slow
 in fig2a, so it is modelled faithfully; block layout below the record level
 is not.
 
+Every record is framed with a CRC32 at write time, and each replica draws
+its media faults independently (corruption, lost fsyncs, transient write
+errors from :class:`~repro.sim.disk.Disk`), so bit rot on one replica is
+survivable through the others.  Reads return each record's verification
+state; the client decides whether to fall over, repair, or salvage.
+
 Crash semantics: records a replica has not yet synced to its disk are lost
 when the datanode crashes (``StoredFile.synced`` tracks the durable prefix).
-A crashed datanode stays down; with the paper's replication factor of 2 the
-surviving replica keeps every durably-written file readable.
+With torn-write injection enabled, a crash may instead land a *prefix* of
+the un-synced tail plus one half-written record -- that torn record is on
+the platter, survives the restart, and must be caught by checksum
+verification at read time.  A crashed datanode stays down; with the paper's
+replication factor of 2 the surviving replica keeps every durably-written
+file readable.
 """
 
 from __future__ import annotations
@@ -17,7 +27,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import DiskSettings
-from repro.errors import FileNotFound
+from repro.errors import DiskWriteError, FileNotFound
 from repro.dfs.files import Record, StoredFile
 from repro.sim.disk import Disk
 from repro.sim.kernel import Kernel
@@ -44,10 +54,20 @@ class DataNode(Node):
             name=addr,
             sync_latency=settings.sync_latency,
             bytes_per_second=settings.bytes_per_second,
+            faults=settings.faults,
         )
         self._read_latency = settings.read_latency
         self._replicas: Dict[str, StoredFile] = {}
+        self.repairs_received = 0
+        self.crash_hooks.append(self._crash_storage)
         self.cast(namenode, "register_datanode", addr=addr)
+
+    def _store(self, payload: object, nbytes: int) -> Record:
+        """Frame one record for the medium, drawing this replica's rot."""
+        record = Record.framed(payload, nbytes)
+        if self.disk.corrupts_record():
+            record.damage()
+        return record
 
     # ------------------------------------------------------------------
     # pipeline writes
@@ -65,15 +85,24 @@ class DataNode(Node):
         Returns the replica length after the append.  The reply is sent only
         after every downstream replica has acknowledged, so a successful
         append means all replicas have the data (and their disks too, when
-        ``durable``).
+        ``durable``).  A transient disk error rolls the in-memory extension
+        back before propagating, so a client retry cannot duplicate records;
+        a lying fsync leaves ``synced`` where it was -- a later genuine sync
+        covers the data, and only a crash in between loses it.
         """
         replica = self._replicas.setdefault(path, StoredFile(path=path))
-        recs = [Record(payload=p, nbytes=n) for p, n in records]
+        recs = [self._store(p, n) for p, n in records]
+        start = len(replica.records)
         replica.records.extend(recs)
         nbytes = sum(r.nbytes for r in recs)
         if durable:
-            yield from self.disk.sync_write(nbytes)
-            replica.synced = len(replica.records)
+            try:
+                ok = yield from self.disk.sync_write(nbytes)
+            except DiskWriteError:
+                del replica.records[start : start + len(recs)]
+                raise
+            if ok:
+                replica.synced = len(replica.records)
         if pipeline:
             nxt, rest = pipeline[0], pipeline[1:]
             # Bounded forward: a dead downstream replica must fail the
@@ -95,8 +124,9 @@ class DataNode(Node):
         replica = self._replicas.get(path)
         if replica is not None and replica.synced < len(replica.records):
             pending = replica.records[replica.synced :]
-            yield from self.disk.sync_write(sum(r.nbytes for r in pending))
-            replica.synced = len(replica.records)
+            ok = yield from self.disk.sync_write(sum(r.nbytes for r in pending))
+            if ok:
+                replica.synced = len(replica.records)
         if pipeline:
             yield self.call(
                 pipeline[0], "sync", timeout=5.0, path=path, pipeline=pipeline[1:]
@@ -107,12 +137,19 @@ class DataNode(Node):
     # re-replication
     # ------------------------------------------------------------------
     def rpc_clone_to(self, sender: str, path: str, target: str):
-        """Copy the durable part of a local replica to another datanode."""
+        """Copy the durable part of a local replica to another datanode.
+
+        The wire carries each record's medium state so cloning never
+        launders damage: a corrupt source record stays detectably corrupt
+        on the new replica.
+        """
         replica = self._replicas.get(path)
         if replica is None:
             raise FileNotFound(f"{path} not on {self.addr}")
-        records = [(r.payload, r.nbytes) for r in replica.durable_records()]
-        nbytes = sum(n for _p, n in records)
+        records = [
+            (r.payload, r.nbytes, r.state) for r in replica.durable_records()
+        ]
+        nbytes = sum(n for _p, n, _s in records)
         duration = self._read_latency + (
             nbytes / self.disk.bytes_per_second if self.disk.bytes_per_second else 0.0
         )
@@ -128,13 +165,19 @@ class DataNode(Node):
         return True
 
     def rpc_receive_replica(self, sender: str, path: str, records):
-        """Install a cloned replica (durably)."""
-        stored = StoredFile(
-            path=path, records=[Record(payload=p, nbytes=n) for p, n in records]
-        )
+        """Install a cloned replica (durably), preserving damage states."""
+        stored = StoredFile(path=path)
+        for payload, nbytes, state in records:
+            record = self._store(payload, nbytes)
+            if state == "torn":
+                record.tear()
+            elif state == "corrupt":
+                record.damage()
+            stored.records.append(record)
         nbytes = sum(r.nbytes for r in stored.records)
-        yield from self.disk.sync_write(nbytes)
-        stored.synced = len(stored.records)
+        ok = yield from self.disk.sync_write(nbytes)
+        if ok:
+            stored.synced = len(stored.records)
         existing = self._replicas.get(path)
         if existing is not None and existing.length > stored.length:
             return False  # raced with concurrent appends; keep the longer one
@@ -147,9 +190,12 @@ class DataNode(Node):
     def rpc_read(self, sender: str, path: str, start: int = 0, count: Optional[int] = None):
         """Read records [start, start+count) with a disk-read charge.
 
-        A datanode materialises a replica on first append, so a path it has
-        never seen reads as empty -- the namenode is the authority on
-        whether the file exists at all.
+        Returns ``(payload, nbytes, state)`` triples, where ``state`` is
+        the checksum verdict for the record on *this* replica's medium
+        (``"ok"``, ``"torn"``, ``"corrupt"``).  A datanode materialises a
+        replica on first append, so a path it has never seen reads as
+        empty -- the namenode is the authority on whether the file exists
+        at all.
         """
         replica = self._replicas.get(path)
         if replica is None:
@@ -163,7 +209,25 @@ class DataNode(Node):
             nbytes / self.disk.bytes_per_second if self.disk.bytes_per_second else 0.0
         )
         yield self.kernel.timeout(duration)
-        return [(r.payload, r.nbytes) for r in chunk]
+        return [(r.payload, r.nbytes, r.state) for r in chunk]
+
+    def rpc_repair_record(
+        self, sender: str, path: str, index: int, payload: object, nbytes: int
+    ):
+        """Overwrite one damaged record with a verified copy from a peer.
+
+        Only records that currently fail verification are replaced -- a
+        stale repair racing a fresh append can never clobber good data.
+        """
+        replica = self._replicas.get(path)
+        if replica is None or index >= len(replica.records):
+            return False
+        if replica.records[index].state == "ok":
+            return False
+        yield from self.disk.sync_write(nbytes)
+        replica.records[index] = self._store(payload, nbytes)
+        self.repairs_received += 1
+        return True
 
     def rpc_replica_length(self, sender: str, path: str) -> int:
         """Current record count of the local replica (0 if absent)."""
@@ -178,10 +242,26 @@ class DataNode(Node):
     # ------------------------------------------------------------------
     # failure model
     # ------------------------------------------------------------------
-    def on_crash(self) -> None:
-        """Lose every record that was not yet synced to disk."""
+    def _crash_storage(self) -> None:
+        """Power-cut semantics for every replica's un-synced tail.
+
+        Normally the tail simply vanishes (it never left the page cache).
+        With torn-write injection the device may instead have landed a
+        prefix of the tail plus one half-written record: those records
+        are *on the platter* -- they survive the restart and must be
+        detected by checksum at read time, not trusted.
+        """
         for replica in self._replicas.values():
-            del replica.records[replica.synced :]
+            tail_length = len(replica.records) - replica.synced
+            if tail_length <= 0:
+                continue
+            if self.disk.tears_on_crash():
+                keep = self.disk.crash_keep_count(tail_length)
+                replica.records[replica.synced + keep].tear()
+                del replica.records[replica.synced + keep + 1 :]
+                replica.synced = len(replica.records)
+            else:
+                del replica.records[replica.synced :]
 
     # test/introspection helpers -- not part of the RPC surface
     def replica(self, path: str) -> Optional[StoredFile]:
@@ -189,7 +269,11 @@ class DataNode(Node):
         return self._replicas.get(path)
 
     def bulk_store(self, path: str, records: List[Tuple[object, int]]) -> None:
-        """Install a pre-built, already-durable replica (dataset preload)."""
+        """Install a pre-built, already-durable replica (dataset preload).
+
+        Preloaded records are unframed (``crc is None``): they model data
+        written before checksumming existed, and verify trivially.
+        """
         stored = StoredFile(
             path=path,
             records=[Record(payload=p, nbytes=n) for p, n in records],

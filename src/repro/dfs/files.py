@@ -11,15 +11,49 @@ paper's experiments depend on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List
+from typing import Any, List, Optional
+
+from repro.storage import checksum
 
 
 @dataclass
 class Record:
-    """One opaque record in a DFS file."""
+    """One opaque record in a DFS file.
+
+    Records written through the append pipeline are *framed*: they carry
+    a CRC32 over their payload, so readers can detect bit rot and torn
+    writes instead of silently replaying garbage.  ``crc is None`` marks
+    an unframed record (bulk-preloaded datasets, pre-framing files);
+    those verify trivially, like data covered by device-level checksums.
+    """
 
     payload: Any
     nbytes: int = 128
+    crc: Optional[int] = None
+    torn: bool = False
+
+    @staticmethod
+    def framed(payload: Any, nbytes: int) -> "Record":
+        """A record checksummed at write time."""
+        return Record(payload=payload, nbytes=nbytes, crc=checksum(payload))
+
+    @property
+    def state(self) -> str:
+        """Medium state: ``"ok"``, ``"torn"`` or ``"corrupt"``."""
+        if self.torn:
+            return "torn"
+        if self.crc is not None and self.crc != checksum(self.payload):
+            return "corrupt"
+        return "ok"
+
+    def damage(self) -> None:
+        """Latent corruption: the stored frame no longer matches the payload."""
+        base = self.crc if self.crc is not None else checksum(self.payload)
+        self.crc = base ^ 0x5A5A5A5A
+
+    def tear(self) -> None:
+        """Mark this record as a half-written (torn) final record."""
+        self.torn = True
 
 
 @dataclass

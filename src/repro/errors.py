@@ -57,6 +57,22 @@ class NodeDown(RpcError):
     """An operation was attempted on (or by) a crashed node."""
 
 
+class StorageError(ReproError):
+    """Base class for stable-storage (disk-level) failures."""
+
+
+class DiskWriteError(StorageError):
+    """A synchronous write failed with a transient device error."""
+
+    def __init__(self, device: str) -> None:
+        super().__init__(f"transient write error on disk {device!r}")
+        self.device = device
+
+
+class CorruptRecord(StorageError):
+    """A stored record failed its checksum and no replica could serve it."""
+
+
 class DfsError(ReproError):
     """Base class for distributed-filesystem errors."""
 

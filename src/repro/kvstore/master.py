@@ -25,7 +25,7 @@ from repro.dfs.client import DfsClient
 from repro.errors import DfsError, KvError, RpcError
 from repro.kvstore.region import RegionDescriptor
 from repro.kvstore.regionserver import RS_ZNODE_DIR
-from repro.kvstore.wal import read_wal_records, wal_dir
+from repro.kvstore.wal import salvage_wal_records, wal_dir
 from repro.sim.events import Interrupt
 from repro.sim.kernel import Kernel
 from repro.sim.network import Network
@@ -64,6 +64,9 @@ class Master(ZkWatcherMixin, Node):
         self._splitting: set = set()
         self._splits = 0
         self._merges = 0
+        #: Non-clean salvage reports from log splitting (audit trail:
+        #: damaged WAL records are accounted for, never silently skipped).
+        self.salvage_reports: List[dict] = []
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -175,6 +178,7 @@ class Master(ZkWatcherMixin, Node):
             "failures_handled": self._failures_handled,
             "splits": self._splits,
             "merges": self._merges,
+            "salvage_reports": [dict(r) for r in self.salvage_reports],
         }
 
     # ------------------------------------------------------------------
@@ -385,10 +389,10 @@ class Master(ZkWatcherMixin, Node):
         wal_paths = yield from self.dfs.list_dir(wal_dir(dead))
         for path in wal_paths:
             records = None
+            salvage = None
             for _attempt in range(15):
                 try:
-                    records = yield from read_wal_records(self.dfs, path)
-                    break
+                    records, salvage = yield from salvage_wal_records(self.dfs, path)
                 except DfsError:
                     # Every listed replica is unreachable right now.  The
                     # machines holding them come back with their disks
@@ -397,10 +401,23 @@ class Master(ZkWatcherMixin, Node):
                     # and the transaction log only covers what lies above
                     # the failed server's threshold.
                     yield self.sleep(1.0)
+                    continue
+                if salvage.dropped and salvage.replicas_missing:
+                    # The scan truncated records no *reachable* replica
+                    # holds intact -- but a holder is down, and it may
+                    # come back with those records whole on its disk.
+                    # Same reasoning as above: waiting is safe, accepting
+                    # a provisional truncation of vouched-for records is
+                    # not.
+                    yield self.sleep(1.0)
+                    continue
+                break
             if records is None:
                 # Replicas truly gone (simultaneous loss of every holder,
                 # beyond the replication factor's failure model).
                 continue
+            if not salvage.clean:
+                self.salvage_reports.append(salvage.to_wire())
             for region_id, txn_ts, cells in records:
                 if region_id in edits_by_region:
                     edits_by_region[region_id].append((region_id, txn_ts, cells))

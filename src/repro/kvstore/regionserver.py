@@ -104,6 +104,7 @@ class RegionServer(ZkWatcherMixin, Node):
             "cells_applied": 0,
             "flushes": 0,
             "compactions": 0,
+            "replay_salvages": 0,
         }
 
     @property
@@ -254,7 +255,13 @@ class RegionServer(ZkWatcherMixin, Node):
             if recovered_edits is not None and recovered_edits not in replay_paths:
                 replay_paths.append(recovered_edits)
             for path in replay_paths:
-                records = yield from self.dfs.read_all(path)
+                # Salvaging read: recovered-edits files can carry bit rot
+                # or a torn tail just like any other DFS file; damaged
+                # records are repaired from healthy replicas or truncated
+                # with an auditable report, never replayed unverified.
+                records, salvage = yield from self.dfs.read_all_salvaged(path)
+                if not salvage.clean:
+                    self.stats["replay_salvages"] += 1
                 for payload, _nbytes in records:
                     _region_id, txn_ts, cells = payload
                     for wire in cells:

@@ -19,6 +19,7 @@ from repro.errors import DfsError
 from repro.kvstore.keys import WireCell
 from repro.sim.events import Event, Interrupt
 from repro.sim.resource import Resource
+from repro.storage import SegmentHeader, is_segment_header
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.node import Node
@@ -93,9 +94,32 @@ class WriteAheadLog:
         """Create the DFS file and start the group syncer.  (Generator API.)"""
         self._sync_lock = Resource(self.host.kernel, capacity=1)
         yield from self.dfs.create(self.path, preferred=self.local_datanode)
+        yield from self._write_header()
         if self.mode == ASYNC:
             self.host.spawn(self._group_syncer(), name="wal-syncer")
         return self
+
+    def _write_header(self):
+        """Open the segment with its identity record.  (Generator API.)
+
+        The header names the writer, its epoch and the segment number, so
+        log-splitting can reject a segment spliced from the wrong log or
+        a stale incarnation.  Best-effort and non-durable: it becomes
+        durable with the first record sync (the datanode syncs the whole
+        unsynced prefix), and the salvage reader tolerates its absence --
+        an empty segment with a lost header recovers to nothing, which is
+        exactly what it holds.
+        """
+        header = SegmentHeader(
+            writer=self.host.addr, epoch=self.epoch, segment=self._file_index
+        )
+        try:
+            yield from self.dfs.append(
+                self.path, [(header.to_wire(), 32)], durable=False,
+                max_attempts=2,
+            )
+        except DfsError:
+            pass
 
     def _group_syncer(self):
         try:
@@ -193,6 +217,7 @@ class WriteAheadLog:
         self._file_records = 0
         self.rolls += 1
         yield from self.dfs.create(self.path, preferred=self.local_datanode)
+        yield from self._write_header()
         yield from self.dfs.close(old_path)
 
     def sync_through(self, seq: int):
@@ -231,11 +256,37 @@ class WriteAheadLog:
         self._sync_waiters.clear()
 
 
+def salvage_wal_records(dfs: DfsClient, path: str):
+    """Salvage every verifiable record of a WAL file.  (Generator API.)
+
+    Reads through :meth:`DfsClient.read_all_salvaged`: records are merged
+    across replicas, checksum-verified, and truncated at the first record
+    no replica holds intact.  Segment headers are validated (a segment
+    written by a different server is rejected outright) and stripped.
+    Returns ``(payloads, report)`` -- the :data:`WalRecord` list in append
+    order plus the salvage report; damaged records are never replayed.
+    """
+    entries, report = yield from dfs.read_all_salvaged(path)
+    payloads = []
+    for payload, _nbytes in entries:
+        if is_segment_header(payload):
+            header = SegmentHeader.from_wire(payload)
+            if not path.startswith(wal_dir(header.writer)):
+                report.reason = "foreign-segment"
+                report.kept = 0
+                report.dropped = report.total
+                return [], report
+            continue
+        payloads.append(payload)
+    return payloads, report
+
+
 def read_wal_records(dfs: DfsClient, path: str):
     """Read every durable record of a WAL file.  (Generator API.)
 
-    Returns a list of :data:`WalRecord` payloads in append order.  Used by
-    the master's log-splitting step after a server failure.
+    Returns a list of :data:`WalRecord` payloads in append order, with
+    segment headers stripped and damaged records salvaged or truncated.
+    Used by the master's log-splitting step after a server failure.
     """
-    records = yield from dfs.read_all(path)
-    return [payload for payload, _nbytes in records]
+    records, _report = yield from salvage_wal_records(dfs, path)
+    return records

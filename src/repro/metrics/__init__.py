@@ -2,7 +2,14 @@
 and plain-text table/chart rendering for the benchmark harnesses."""
 
 from repro.metrics.histogram import LatencyHistogram
-from repro.metrics.report import ascii_chart, format_table, ms
+from repro.metrics.report import ascii_chart, format_table, ms, storage_table
 from repro.metrics.timeseries import TimeSeries
 
-__all__ = ["LatencyHistogram", "TimeSeries", "ascii_chart", "format_table", "ms"]
+__all__ = [
+    "LatencyHistogram",
+    "TimeSeries",
+    "ascii_chart",
+    "format_table",
+    "ms",
+    "storage_table",
+]

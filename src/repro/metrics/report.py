@@ -48,6 +48,51 @@ def ms(seconds: Optional[float]) -> Optional[float]:
     return None if seconds is None else seconds * 1000.0
 
 
+def storage_table(storage: dict, title: Optional[str] = "storage") -> str:
+    """Per-disk fault/IO counters plus the cluster integrity totals.
+
+    ``storage`` is the dict :meth:`repro.cluster.SimCluster.storage_stats`
+    returns (also embedded in each chaos report): per-device sync/byte
+    counts with every injected-fault counter, the reader-side integrity
+    totals, and any salvage reports recovery produced.
+    """
+    disks = storage.get("disks", {})
+    rows = [
+        (
+            name,
+            d.get("syncs", 0),
+            d.get("bytes_written", 0),
+            d.get("write_errors", 0),
+            d.get("lost_fsyncs", 0),
+            d.get("corruptions", 0),
+            d.get("torn_writes", 0),
+            d.get("repairs", "-"),
+        )
+        for name, d in sorted(disks.items())
+    ]
+    lines = [
+        format_table(
+            ["disk", "syncs", "bytes", "werr", "liedfsync", "rot", "torn",
+             "repairs"],
+            rows,
+            title=title,
+        )
+    ]
+    integrity = storage.get("integrity", {})
+    if integrity:
+        lines.append(
+            "integrity: "
+            + " ".join(f"{k}={v}" for k, v in sorted(integrity.items()))
+        )
+    for report in storage.get("salvage_reports", []):
+        lines.append(
+            "salvage: {path}: kept {kept}/{total}, dropped {dropped} "
+            "(torn {torn}, corrupt {corrupt}), repaired {repaired}, "
+            "{bytes_truncated}B truncated [{reason}]".format(**report)
+        )
+    return "\n".join(lines)
+
+
 def ascii_chart(
     series: Sequence[tuple],
     height: int = 10,

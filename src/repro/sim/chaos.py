@@ -68,6 +68,60 @@ class ChaosSettings:
     #: Latency multiplier range for a degraded ("slow") node.
     degradation_factor: float = 6.0
 
+    # -- ambient storage faults (datanode disks, active for the storm) ----
+    #: All zero by default: the fabric-only storms of PR 1 reproduce
+    #: bit-for-bit.  The disk-fault profile (``disk_chaos_settings``)
+    #: turns them on.
+    disk_write_error_probability: float = 0.0
+    disk_lost_fsync_probability: float = 0.0
+    disk_corruption_probability: float = 0.0
+    disk_torn_write_probability: float = 0.0
+
+    # -- acute disk-fault storms (one device turns hostile for a while) ---
+    disk_fault_storms: int = 0
+    #: Per-record corruption probability on the stormed device.  High on
+    #: purpose: with replication 2 the *other* replica still runs at the
+    #: ambient rate, so double-damage of one record stays improbable
+    #: while salvage/repair gets real work.
+    storm_corruption_probability: float = 0.05
+    #: Lost-fsync probability on the stormed device.
+    storm_lost_fsync_probability: float = 0.25
+
+    @property
+    def disk_faults_enabled(self) -> bool:
+        """Whether this run injects any storage faults at all."""
+        return (
+            self.disk_write_error_probability > 0
+            or self.disk_lost_fsync_probability > 0
+            or self.disk_corruption_probability > 0
+            or self.disk_torn_write_probability > 0
+            or self.disk_fault_storms > 0
+        )
+
+
+def disk_chaos_settings(**overrides) -> "ChaosSettings":
+    """The disk-fault chaos profile.
+
+    Ambient media faults on every datanode disk for the whole storm --
+    transient write errors, lying fsyncs, latent corruption, and torn
+    final writes on crash -- plus one acute per-device fault storm.  The
+    ambient corruption rate is kept low because replicas draw damage
+    independently: durability needs *some* intact copy of each record,
+    so the profile stresses the salvage/repair paths hard while keeping
+    the probability of damaging every copy of one record negligible.
+    The TM's log device stays clean, matching the paper's assumption of
+    reliable TM stable storage (its salvage path is unit-tested instead).
+    """
+    base = dict(
+        disk_write_error_probability=0.02,
+        disk_lost_fsync_probability=0.02,
+        disk_corruption_probability=0.001,
+        disk_torn_write_probability=0.6,
+        disk_fault_storms=1,
+    )
+    base.update(overrides)
+    return ChaosSettings(**base)
+
 
 @dataclass
 class ChaosReport:
@@ -85,6 +139,7 @@ class ChaosReport:
     global_tp: int = 0
     net: dict = field(default_factory=dict)
     tm: dict = field(default_factory=dict)
+    storage: dict = field(default_factory=dict)
     events: int = 0
 
     @property
@@ -95,7 +150,7 @@ class ChaosReport:
     def summary(self) -> str:
         """One line for sweep output."""
         verdict = "OK" if self.ok else "FAIL"
-        return (
+        line = (
             f"seed {self.seed:>4}: {verdict}  "
             f"acked={self.acknowledged} conflicts={self.conflicts} "
             f"errors={self.errors} violations={len(self.violations)} "
@@ -104,6 +159,22 @@ class ChaosReport:
             f"dup={self.net.get('messages_duplicated', 0)} "
             f"retries={self.net.get('rpc_retries', 0)}"
         )
+        disks = self.storage.get("disks", {})
+        injected = {
+            kind: sum(d.get(kind, 0) for d in disks.values())
+            for kind in ("write_errors", "lost_fsyncs", "corruptions", "torn_writes")
+        }
+        if any(injected.values()):
+            integrity = self.storage.get("integrity", {})
+            line += (
+                f" werr={injected['write_errors']}"
+                f" liedfsync={injected['lost_fsyncs']}"
+                f" rot={injected['corruptions']}"
+                f" torn={injected['torn_writes']}"
+                f" repaired={integrity.get('records_repaired', 0)}"
+                f" salvages={integrity.get('salvages', 0)}"
+            )
+        return line
 
 
 def build_chaos_cluster(seed: int, settings: ChaosSettings) -> SimCluster:
@@ -191,6 +262,14 @@ def run_chaos(
     storm_end = t0 + s.storm
     restarting: set = set()
 
+    def ambient_disk_faults(disk) -> None:
+        disk.configure_faults(
+            write_error_probability=s.disk_write_error_probability,
+            lost_fsync_probability=s.disk_lost_fsync_probability,
+            corruption_probability=s.disk_corruption_probability,
+            torn_write_probability=s.disk_torn_write_probability,
+        )
+
     def storm_on() -> None:
         cluster.net.configure_chaos(
             loss_probability=s.loss_probability,
@@ -202,6 +281,32 @@ def run_chaos(
             f"storm on: loss={s.loss_probability} dup={s.duplicate_probability} "
             f"spike={s.delay_spike_probability}"
         )
+        if s.disk_faults_enabled:
+            for dn in cluster.datanodes:
+                ambient_disk_faults(dn.disk)
+            note(
+                f"disk faults on: werr={s.disk_write_error_probability} "
+                f"liedfsync={s.disk_lost_fsync_probability} "
+                f"rot={s.disk_corruption_probability} "
+                f"torn={s.disk_torn_write_probability}"
+            )
+
+    def disk_fault_storm(i: int, dwell: float) -> None:
+        disk = cluster.datanodes[i].disk
+        note(
+            f"disk storm on {disk.name}: rot={s.storm_corruption_probability} "
+            f"liedfsync={s.storm_lost_fsync_probability} for {dwell:.2f}s"
+        )
+        disk.configure_faults(
+            corruption_probability=s.storm_corruption_probability,
+            lost_fsync_probability=s.storm_lost_fsync_probability,
+        )
+
+        def calm() -> None:
+            note(f"disk storm over on {disk.name}")
+            ambient_disk_faults(disk)
+
+        cluster.after(dwell, calm)
 
     def crash_machine(i: int) -> None:
         rs = cluster.servers[i]
@@ -353,6 +458,13 @@ def run_chaos(
         cluster.after(
             at - now, lambda a=addr, f=factor, d=dwell: degrade_node(a, f, d)
         )
+    for _ in range(s.disk_fault_storms):
+        at = draw_in_storm(margin=1.5)
+        dwell = rng.uniform(1.0, 2.5)
+        victim = rng.randrange(s.n_servers)
+        cluster.after(
+            at - now, lambda v=victim, d=dwell: disk_fault_storm(v, d)
+        )
 
     # -- storm ------------------------------------------------------------
     cluster.run_until(storm_end)
@@ -365,6 +477,17 @@ def run_chaos(
     )
     cluster.net.heal()
     cluster.net.restore()
+    if s.disk_faults_enabled:
+        # Media stop *acquiring* new faults; everything already torn or
+        # rotted stays on the platters for recovery to salvage.
+        for dn in cluster.datanodes:
+            dn.disk.configure_faults(
+                write_error_probability=0.0,
+                lost_fsync_probability=0.0,
+                corruption_probability=0.0,
+                torn_write_probability=0.0,
+            )
+        note("disk faults off: media calm, damage persists")
     note("storm off: fabric clean")
     for i, rs in enumerate(cluster.servers):
         if not rs.alive:
@@ -442,6 +565,7 @@ def run_chaos(
         report.violations = [f"audit aborted: {exc!r}"]
     report.net = cluster.net_stats()
     report.tm = cluster.tm_stats()
+    report.storage = cluster.storage_stats()
     report.events = cluster.kernel.event_count
     note(
         f"audit: {report.acknowledged} acknowledged, "

@@ -1,16 +1,42 @@
-"""Stable-storage latency model.
+"""Stable-storage latency and fault model.
 
 A :class:`Disk` serialises synchronous writes through a capacity-1 resource
 (one head / one fsync at a time) and charges a seek-plus-transfer latency per
 write.  This is what makes synchronous WAL persistence expensive in the
 fig2a experiment and what makes group commit worth having in the transaction
 manager's log.
+
+On top of the latency model the disk can inject storage faults, drawn
+from a dedicated RNG substream so that enabling them never perturbs the
+latency-jitter sequence (the same determinism contract the network chaos
+layer gives):
+
+* **transient write errors** -- ``sync_write`` raises
+  :class:`~repro.errors.DiskWriteError`; nothing reaches the medium and
+  the caller is expected to retry or fail over.
+* **silently lost fsyncs** -- ``sync_write`` returns ``False``: the
+  device *acknowledged* the sync but left the data in its volatile
+  cache.  Callers must not advance their durable watermark; the loss
+  only materialises if the host crashes before a later genuine sync
+  covers the data (page-cache semantics).
+* **latent corruption** -- :meth:`corrupts_record` tells the storage
+  layer one record landed rotted; detected later by record checksums.
+* **torn final write** -- at crash time :meth:`tears_on_crash` decides
+  whether the in-flight write tore (a prefix of the un-synced tail is
+  on the platter plus one half-written record) instead of vanishing.
+
+All faults are off by default and are enabled per-device via
+:meth:`configure_faults`, with per-device counters exposed by
+:meth:`stats`.
 """
 
 from __future__ import annotations
 
 import typing
+from dataclasses import replace
 
+from repro.config import DiskFaultSettings
+from repro.errors import DiskWriteError
 from repro.sim.resource import Resource
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -27,29 +53,94 @@ class Disk:
         sync_latency: float = 0.003,
         bytes_per_second: float = 80e6,
         jitter_fraction: float = 0.15,
+        faults: typing.Optional[DiskFaultSettings] = None,
     ) -> None:
         self.kernel = kernel
         self.name = name
         self.sync_latency = sync_latency
         self.bytes_per_second = bytes_per_second
         self._rng = kernel.rng.substream(f"disk:{name}")
+        #: Faults draw from their own substream: a fault-free run and a
+        #: fault-injected run consume identical draws from ``_rng``.
+        self._fault_rng = kernel.rng.substream(f"disk-fault:{name}")
         self._head = Resource(kernel, capacity=1)
         self._jitter = jitter_fraction
+        self.faults = replace(faults) if faults is not None else DiskFaultSettings()
         self.bytes_written = 0
         self.syncs = 0
+        self.write_errors = 0
+        self.lost_fsyncs = 0
+        self.corruptions = 0
+        self.torn_writes = 0
+
+    def configure_faults(self, **overrides: float) -> None:
+        """Replace fault probabilities (unnamed knobs keep their value)."""
+        self.faults = replace(self.faults, **overrides)
 
     def sync_write(self, nbytes: int):
         """Generator helper: durably write ``nbytes`` (seek + transfer).
 
         Writes are serialised: concurrent callers queue, so a hot log device
         exhibits realistic convoying under load.
+
+        Returns ``True`` when the data genuinely reached the platter and
+        ``False`` when the device lied about the fsync (the data is still
+        volatile; a later genuine sync will cover it).  Raises
+        :class:`DiskWriteError` on a transient device error, in which
+        case nothing was written.
         """
         duration = self._rng.jittered(self.sync_latency, self._jitter)
         if self.bytes_per_second > 0:
             duration += nbytes / self.bytes_per_second
+        yield from self._head.use(duration)
+        if self.faults.write_error_probability > 0 and (
+            self._fault_rng.random() < self.faults.write_error_probability
+        ):
+            self.write_errors += 1
+            raise DiskWriteError(self.name)
         self.bytes_written += nbytes
         self.syncs += 1
-        yield from self._head.use(duration)
+        if self.faults.lost_fsync_probability > 0 and (
+            self._fault_rng.random() < self.faults.lost_fsync_probability
+        ):
+            self.lost_fsyncs += 1
+            return False
+        return True
+
+    def corrupts_record(self) -> bool:
+        """Whether one record just written lands latently corrupted."""
+        if self.faults.corruption_probability <= 0:
+            return False
+        if self._fault_rng.random() < self.faults.corruption_probability:
+            self.corruptions += 1
+            return True
+        return False
+
+    def tears_on_crash(self) -> bool:
+        """Whether a crash tears the in-flight write instead of dropping it."""
+        if self.faults.torn_write_probability <= 0:
+            return False
+        if self._fault_rng.random() < self.faults.torn_write_probability:
+            self.torn_writes += 1
+            return True
+        return False
+
+    def crash_keep_count(self, tail_length: int) -> int:
+        """How many tail records fully landed before the torn one (0..n-1)."""
+        if tail_length <= 1:
+            return 0
+        return self._fault_rng.randrange(tail_length)
+
+    def stats(self) -> dict:
+        """Per-device IO and fault counters (JSON-friendly)."""
+        return {
+            "syncs": self.syncs,
+            "bytes_written": self.bytes_written,
+            "write_errors": self.write_errors,
+            "lost_fsyncs": self.lost_fsyncs,
+            "corruptions": self.corruptions,
+            "torn_writes": self.torn_writes,
+        }
 
     @property
     def queue_length(self) -> int:

@@ -15,7 +15,7 @@ as :class:`~repro.errors.RemoteError`.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Optional, Tuple, Type
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.errors import NodeDown, RemoteError, RpcTimeout
 from repro.sim.events import Event, Interrupt
@@ -50,6 +50,12 @@ class Node:
         #: Jitter source for this node's retry backoff (seeded substream:
         #: deterministic, and independent of every other node's draws).
         self.retry_rng = kernel.rng.substream(f"retry.{addr}")
+        #: Storage-layer crash hooks, run at kill time before
+        #: :meth:`on_crash`.  This is where buffered-but-unsynced data is
+        #: deterministically discarded or torn: the storage layer decides
+        #: what its media look like after the power cut, while
+        #: :meth:`on_crash` clears purely volatile application state.
+        self.crash_hooks: List[Callable[[], None]] = []
         net.register(self, replace=True)
 
     # ------------------------------------------------------------------
@@ -81,6 +87,8 @@ class Node:
         self._procs.clear()
         self._pending_calls.clear()
         self._seen_requests.clear()
+        for hook in list(self.crash_hooks):
+            hook()
         self.on_crash()
 
     def on_crash(self) -> None:

@@ -1,0 +1,25 @@
+"""Crash-consistent record framing and recovery-time salvage.
+
+This package holds the storage-integrity primitives shared by every
+durable log in the system: the per-record CRC32 checksum, segment
+headers carrying writer/epoch/sequence identity, and the salvage
+scanner that recovers the longest verifiable prefix of a damaged log.
+"""
+
+from repro.storage.framing import (
+    HEADER_KIND,
+    SalvageReport,
+    SegmentHeader,
+    checksum,
+    is_segment_header,
+    salvage_prefix,
+)
+
+__all__ = [
+    "HEADER_KIND",
+    "SalvageReport",
+    "SegmentHeader",
+    "checksum",
+    "is_segment_header",
+    "salvage_prefix",
+]

@@ -46,13 +46,19 @@ class LoggerShard(Node):
             name=f"{addr}-disk",
             sync_latency=disk_cfg.sync_latency,
             bytes_per_second=disk_cfg.bytes_per_second,
+            faults=disk_cfg.faults,
         )
         self._records: List[LogRecord] = []  # ascending commit_ts
         self._timestamps: List[int] = []
         self.stats = LogStats()
 
     def rpc_shard_append(self, sender: str, records: List[dict]):
-        """Durably append a batch (one disk sync for the whole batch)."""
+        """Durably append a batch (one disk sync for the whole batch).
+
+        A transient disk error surfaces to the TM's batcher as a remote
+        failure; the batcher retries and the timestamp dedup below makes
+        the repeat safe.
+        """
         parsed = [LogRecord.from_wire(w) for w in records]
         nbytes = sum(max(r.nbytes, 96) for r in parsed)
         yield from self.disk.sync_write(nbytes)
@@ -81,6 +87,9 @@ class LoggerShard(Node):
         """Drop records with commit_ts < up_to_ts."""
         idx = bisect.bisect_left(self._timestamps, up_to_ts)
         if idx > 0:
+            self.stats.truncated_bytes += sum(
+                record.nbytes for record in self._records[:idx]
+            )
             del self._records[:idx]
             del self._timestamps[:idx]
             self.stats.truncated += idx
@@ -93,6 +102,8 @@ class LoggerShard(Node):
             "length": len(self._records),
             "appended": self.stats.appended,
             "syncs": self.stats.syncs,
+            "truncated": self.stats.truncated,
+            "truncated_bytes": self.stats.truncated_bytes,
         }
 
 
@@ -205,4 +216,6 @@ class DistributedRecoveryLog:
             "length": sum(r["length"] for r in replies),
             "appended": sum(r["appended"] for r in replies),
             "syncs": sum(r["syncs"] for r in replies),
+            "truncated": sum(r["truncated"] for r in replies),
+            "truncated_bytes": sum(r["truncated_bytes"] for r in replies),
         }

@@ -244,6 +244,8 @@ class TransactionManager(Node):
             "log_length": log_stats["length"],
             "log_syncs": log_stats["syncs"],
             "log_appended": log_stats["appended"],
+            "log_truncated": log_stats["truncated"],
+            "log_truncated_bytes": log_stats["truncated_bytes"],
         }
         local = getattr(self.log, "truncated_below", None)
         if local is not None:

@@ -1,0 +1,160 @@
+"""Unit tests for the disk model's injectable media faults."""
+
+import pytest
+
+from repro.config import DiskFaultSettings
+from repro.errors import DiskWriteError
+from repro.sim import Disk, Kernel
+
+
+def run(k, gen):
+    return k.run_until_complete(k.process(gen))
+
+
+def write(disk, nbytes=100):
+    def gen():
+        ok = yield from disk.sync_write(nbytes)
+        return ok
+
+    return gen()
+
+
+class TestFaultKnobs:
+    def test_defaults_are_fault_free(self):
+        k = Kernel(seed=1)
+        disk = Disk(k, "d")
+        assert disk.faults.write_error_probability == 0.0
+        assert disk.faults.lost_fsync_probability == 0.0
+        assert disk.faults.corruption_probability == 0.0
+        assert disk.faults.torn_write_probability == 0.0
+
+    def test_configure_faults_overrides_selectively(self):
+        k = Kernel(seed=1)
+        disk = Disk(k, "d", faults=DiskFaultSettings(corruption_probability=0.5))
+        disk.configure_faults(lost_fsync_probability=0.25)
+        assert disk.faults.corruption_probability == 0.5
+        assert disk.faults.lost_fsync_probability == 0.25
+
+    def test_settings_object_is_copied(self):
+        k = Kernel(seed=1)
+        shared = DiskFaultSettings()
+        disk = Disk(k, "d", faults=shared)
+        disk.configure_faults(corruption_probability=0.9)
+        assert shared.corruption_probability == 0.0
+
+
+class TestWriteErrors:
+    def test_transient_error_raises_and_counts(self):
+        k = Kernel(seed=7)
+        disk = Disk(k, "d", faults=DiskFaultSettings(write_error_probability=1.0))
+        with pytest.raises(DiskWriteError) as err:
+            run(k, write(disk))
+        assert err.value.device == "d"
+        assert disk.write_errors == 1
+        # A failed write lands nothing and is not counted as a sync.
+        assert disk.syncs == 0
+        assert disk.bytes_written == 0
+
+    def test_error_still_charges_latency(self):
+        k = Kernel(seed=7)
+        disk = Disk(
+            k, "d", sync_latency=0.004,
+            faults=DiskFaultSettings(write_error_probability=1.0),
+        )
+        with pytest.raises(DiskWriteError):
+            run(k, write(disk))
+        assert k.now > 0.002
+
+
+class TestLostFsyncs:
+    def test_lying_fsync_returns_false(self):
+        k = Kernel(seed=9)
+        disk = Disk(k, "d", faults=DiskFaultSettings(lost_fsync_probability=1.0))
+        assert run(k, write(disk)) is False
+        assert disk.lost_fsyncs == 1
+        # The write itself is counted: the device accepted the data, it
+        # just lied about the platter.
+        assert disk.syncs == 1
+        assert disk.bytes_written == 100
+
+    def test_honest_fsync_returns_true(self):
+        k = Kernel(seed=9)
+        disk = Disk(k, "d")
+        assert run(k, write(disk)) is True
+        assert disk.lost_fsyncs == 0
+
+
+class TestCorruptionAndTears:
+    def test_corruption_draws_are_counted(self):
+        k = Kernel(seed=11)
+        disk = Disk(k, "d", faults=DiskFaultSettings(corruption_probability=1.0))
+        assert disk.corrupts_record() is True
+        assert disk.corruptions == 1
+        disk.configure_faults(corruption_probability=0.0)
+        assert disk.corrupts_record() is False
+        assert disk.corruptions == 1
+
+    def test_tears_on_crash_counted(self):
+        k = Kernel(seed=11)
+        disk = Disk(k, "d", faults=DiskFaultSettings(torn_write_probability=1.0))
+        assert disk.tears_on_crash() is True
+        assert disk.torn_writes == 1
+
+    def test_no_tear_when_disabled(self):
+        k = Kernel(seed=11)
+        disk = Disk(k, "d")
+        assert disk.tears_on_crash() is False
+        assert disk.torn_writes == 0
+
+    def test_crash_keep_count_bounds(self):
+        k = Kernel(seed=13)
+        disk = Disk(k, "d", faults=DiskFaultSettings(torn_write_probability=1.0))
+        assert disk.crash_keep_count(1) == 0
+        for tail in (2, 5, 50):
+            keep = disk.crash_keep_count(tail)
+            assert 0 <= keep < tail
+
+
+class TestDeterminism:
+    def test_fault_draws_use_a_dedicated_substream(self):
+        """Enabling faults must not perturb the latency sequence."""
+
+        def timings(faults):
+            k = Kernel(seed=42)
+            disk = Disk(k, "d", sync_latency=0.004, faults=faults)
+            times = []
+
+            def writer():
+                for _ in range(10):
+                    try:
+                        yield from disk.sync_write(500)
+                    except DiskWriteError:
+                        pass
+                    times.append(k.now)
+
+            k.run_until_complete(k.process(writer()))
+            return times
+
+        clean = timings(None)
+        # Corruption/tear draws never touch sync_write's behaviour, so
+        # even aggressive rates leave the latency sequence untouched.
+        noisy = timings(
+            DiskFaultSettings(
+                corruption_probability=0.9, torn_write_probability=0.9
+            )
+        )
+        assert clean == noisy
+
+    def test_stats_dict(self):
+        k = Kernel(seed=5)
+        disk = Disk(k, "d", faults=DiskFaultSettings(lost_fsync_probability=1.0))
+        run(k, write(disk, 64))
+        stats = disk.stats()
+        assert stats == {
+            "syncs": 1,
+            "bytes_written": 64,
+            "write_errors": 0,
+            "lost_fsyncs": 1,
+            "corruptions": 0,
+            "torn_writes": 0,
+        }

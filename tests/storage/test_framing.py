@@ -1,0 +1,102 @@
+"""Unit tests for record framing, segment headers, and prefix salvage."""
+
+import pytest
+
+from repro.storage import (
+    HEADER_KIND,
+    SalvageReport,
+    SegmentHeader,
+    checksum,
+    is_segment_header,
+    salvage_prefix,
+)
+
+
+class TestChecksum:
+    def test_deterministic(self):
+        payload = ("region-1", 42, [("row", "f", 42, "v")])
+        assert checksum(payload) == checksum(payload)
+
+    def test_distinguishes_payloads(self):
+        assert checksum(("a", 1)) != checksum(("a", 2))
+
+    def test_stable_for_strings_and_numbers(self):
+        # The framing contract: equal payloads frame to equal checksums
+        # regardless of identity.
+        assert checksum("x" * 100) == checksum("x" * 50 + "x" * 50)
+
+
+class TestSegmentHeader:
+    def test_wire_roundtrip(self):
+        header = SegmentHeader(writer="rs0", epoch=3, segment=7)
+        assert SegmentHeader.from_wire(header.to_wire()) == header
+
+    def test_wire_is_detectable(self):
+        assert is_segment_header(SegmentHeader("rs1", 0, 0).to_wire())
+
+    def test_ordinary_payloads_are_not_headers(self):
+        assert not is_segment_header(("region-1", 42, []))
+        assert not is_segment_header("just a string")
+        assert not is_segment_header((HEADER_KIND,))  # wrong arity
+
+    def test_from_wire_rejects_non_header(self):
+        with pytest.raises(ValueError):
+            SegmentHeader.from_wire(("nope", "rs0", 1, 2))
+
+
+class TestSalvagePrefix:
+    def entries(self, states):
+        return [(f"p{i}", 10 * (i + 1), s) for i, s in enumerate(states)]
+
+    def test_clean_stream_keeps_everything(self):
+        kept, report = salvage_prefix("/l", self.entries(["ok", "ok", "ok"]))
+        assert [p for p, _n in kept] == ["p0", "p1", "p2"]
+        assert report.clean
+        assert report.reason == "clean"
+        assert (report.kept, report.dropped) == (3, 0)
+
+    def test_truncates_at_first_torn_record(self):
+        kept, report = salvage_prefix(
+            "/l", self.entries(["ok", "torn", "ok", "ok"])
+        )
+        assert [p for p, _n in kept] == ["p0"]
+        assert not report.clean
+        assert report.reason == "torn-record"
+        assert report.dropped == 3  # the tear and everything after it
+        assert report.torn == 1
+        assert report.bytes_truncated == 20 + 30 + 40
+
+    def test_truncates_at_first_corrupt_record(self):
+        kept, report = salvage_prefix(
+            "/l", self.entries(["ok", "ok", "corrupt"])
+        )
+        assert len(kept) == 2
+        assert report.reason == "corrupt-record"
+        assert report.corrupt == 1
+        assert report.bytes_truncated == 30
+
+    def test_counts_all_damage_in_the_dropped_suffix(self):
+        _kept, report = salvage_prefix(
+            "/l", self.entries(["corrupt", "torn", "corrupt"])
+        )
+        assert report.kept == 0
+        assert report.dropped == 3
+        assert (report.torn, report.corrupt) == (1, 2)
+
+    def test_empty_stream(self):
+        kept, report = salvage_prefix("/l", [])
+        assert kept == []
+        assert report.clean
+
+    def test_report_wire_form_is_json_friendly(self):
+        _kept, report = salvage_prefix("/l", self.entries(["ok", "torn"]))
+        wire = report.to_wire()
+        assert wire["path"] == "/l"
+        assert wire["reason"] == "torn-record"
+        assert all(
+            isinstance(v, (str, int)) for v in wire.values()
+        )
+
+    def test_clean_requires_no_repairs_either(self):
+        report = SalvageReport(path="/l", total=2, kept=2, repaired=1)
+        assert not report.clean
