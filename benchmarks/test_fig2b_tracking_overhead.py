@@ -37,12 +37,13 @@ def run_interval(interval: float):
         config.recovery.server_heartbeat_interval = interval
         cluster = build_cluster(config)
         duration = max(STEADY_RUN, interval * 3)
-        result = WorkloadDriver(cluster).run(
-            duration=duration, target_tps=None, warmup=WARMUP
-        )
+        driver = WorkloadDriver(cluster)
+        result = driver.run(duration=duration, target_tps=None, warmup=WARMUP)
         tps += result.achieved_tps
-        mean_ms += result.latency.mean * 1000
-        p99_ms += result.latency.percentile(99) * 1000
+        # Latency percentiles via the driver's metrics registry.
+        latency = driver.metrics()["histograms"]["txn_latency"]
+        mean_ms += latency["mean"] * 1000
+        p99_ms += latency["p99"] * 1000
     n = len(SEEDS)
     return {
         "interval": interval,

@@ -34,25 +34,33 @@ def main() -> None:
     def deposit_initial():
         """Give every account its opening balance in chunked transactions."""
         for base in range(0, N_ACCOUNTS, 200):
-            ctx = yield from teller.txn.begin()
-            for i in range(base, min(base + 200, N_ACCOUNTS)):
-                teller.txn.write(ctx, TABLE, row_key(i), INITIAL_BALANCE)
-            yield from teller.txn.commit(ctx, wait_flush=True)
+            def body(ctx, base=base):
+                for i in range(base, min(base + 200, N_ACCOUNTS)):
+                    teller.txn.write(ctx, TABLE, row_key(i), INITIAL_BALANCE)
+                yield from ()
+
+            yield from teller.txn.transaction(body, wait_flush=True)
 
     print(f"Opening {N_ACCOUNTS} accounts at {INITIAL_BALANCE} each...")
     cluster.run(deposit_initial())
 
     def transfer(client, src, dst, amount):
-        ctx = yield from client.txn.begin()
-        src_balance = yield from client.txn.read(ctx, TABLE, row_key(src))
-        dst_balance = yield from client.txn.read(ctx, TABLE, row_key(dst))
-        if int(src_balance) < amount:
-            yield from client.txn.abort(ctx)
-            return False
-        client.txn.write(ctx, TABLE, row_key(src), int(src_balance) - amount)
-        client.txn.write(ctx, TABLE, row_key(dst), int(dst_balance) + amount)
-        yield from client.txn.commit(ctx)
-        return True
+        def body(ctx):
+            src_balance = yield from client.txn.read(ctx, TABLE, row_key(src))
+            dst_balance = yield from client.txn.read(ctx, TABLE, row_key(dst))
+            if int(src_balance) < amount:
+                # Business-rule abort: transaction() sees the context is no
+                # longer active and skips the commit.
+                yield from client.txn.abort(ctx)
+                return False
+            client.txn.write(ctx, TABLE, row_key(src), int(src_balance) - amount)
+            client.txn.write(ctx, TABLE, row_key(dst), int(dst_balance) + amount)
+            return True
+
+        # Snapshot-isolation conflicts retry once with backoff; a second
+        # conflict surfaces as TxnAborted to the caller.
+        _ctx, ok = yield from client.txn.transaction(body, retries=1)
+        return ok
 
     def transfer_worker(client, n, counters):
         for _ in range(n):
@@ -82,11 +90,14 @@ def main() -> None:
 
     def audit():
         """Sum all balances in one (large, read-only) transaction."""
-        ctx = yield from auditor.txn.begin()
-        total = 0
-        for i in range(N_ACCOUNTS):
-            total += int((yield from auditor.txn.read(ctx, TABLE, row_key(i))))
-        yield from auditor.txn.commit(ctx)
+        def body(ctx):
+            total = 0
+            for i in range(N_ACCOUNTS):
+                value = yield from auditor.txn.read(ctx, TABLE, row_key(i))
+                total += int(value)
+            return total
+
+        _ctx, total = yield from auditor.txn.transaction(body)
         return total
 
     print("Auditing total balance after recovery...")

@@ -29,11 +29,13 @@ def main() -> None:
 
     def transfer(ctx_rows, tag):
         """One transaction writing `tag` into several rows."""
-        ctx = yield from client.txn.begin()
-        for i in ctx_rows:
-            old = yield from client.txn.read(ctx, TABLE, row_key(i))
-            client.txn.write(ctx, TABLE, row_key(i), f"{tag} (was {old})")
-        yield from client.txn.commit(ctx)
+        def body(ctx):
+            for i in ctx_rows:
+                old = yield from client.txn.read(ctx, TABLE, row_key(i))
+                client.txn.write(ctx, TABLE, row_key(i), f"{tag} (was {old})")
+
+        # The transaction() helper wraps begin/commit and aborts on error.
+        ctx, _ = yield from client.txn.transaction(body, retries=2)
         return ctx
 
     print("Committing three transactions...")
@@ -56,8 +58,10 @@ def main() -> None:
 
     print("\nReading everything back after recovery:")
     def read(i):
-        ctx = yield from client.txn.begin()
-        value = yield from client.txn.read(ctx, TABLE, row_key(i))
+        def body(ctx):
+            return (yield from client.txn.read(ctx, TABLE, row_key(i)))
+
+        _ctx, value = yield from client.txn.transaction(body)
         return value
 
     ok = True
@@ -72,6 +76,19 @@ def main() -> None:
     stats = cluster.tm_stats()
     print(f"\nTM: {stats['commits']} commits, log length {stats['log_length']} "
           f"(truncated below ts {stats['log_truncated_below']})")
+
+    # The unified metrics snapshot: per-component registries plus the
+    # commit-path latency breakdown measured by the span tracer.
+    from repro.metrics import spans_table
+
+    snapshot = cluster.metrics_snapshot()
+    print()
+    print(spans_table(snapshot["spans"]))
+    breakdown = snapshot["commit_breakdown"]
+    if breakdown["end_to_end"]:
+        print(f"commit p50: {breakdown['end_to_end']['p50'] * 1000:.2f} ms "
+              f"end-to-end; stage p50 sum "
+              f"{breakdown['stage_p50_sum'] * 1000:.2f} ms")
 
 
 if __name__ == "__main__":

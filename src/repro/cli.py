@@ -20,7 +20,7 @@ from typing import List, Optional
 
 from repro import ClusterConfig, SimCluster, TABLE
 from repro.kvstore.keys import row_key
-from repro.metrics import ascii_chart, format_table
+from repro.metrics import ascii_chart, format_table, spans_table
 from repro.workload import WORKLOADS, WorkloadDriver
 
 
@@ -35,6 +35,36 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
         help="synchronous store persistence (the fig2a baseline; disables "
              "the recovery middleware)",
     )
+
+
+def _emit_metrics(cluster: SimCluster, path: Optional[str]) -> None:
+    """Print the commit-path breakdown; optionally dump the snapshot.
+
+    The snapshot is :meth:`SimCluster.metrics_snapshot` serialised with
+    sorted keys, so two same-seed runs write byte-identical files.
+    ``path`` of ``-`` writes the JSON to stdout instead of a file.
+    """
+    import json
+
+    snapshot = cluster.metrics_snapshot()
+    print(spans_table(snapshot["spans"], title="commit-path stages"))
+    breakdown = snapshot["commit_breakdown"]
+    e2e = breakdown.get("end_to_end")
+    if e2e:
+        print(
+            f"commit p50 {e2e['p50'] * 1000:.3f} ms end-to-end; "
+            f"stage p50 sum {breakdown['stage_p50_sum'] * 1000:.3f} ms "
+            f"(ratio {breakdown.get('p50_ratio', float('nan')):.3f})"
+        )
+    if path is None:
+        return
+    payload = json.dumps(snapshot, indent=2, sort_keys=True)
+    if path == "-":
+        print(payload)
+    else:
+        with open(path, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote metrics snapshot to {path}")
 
 
 def _build(args: argparse.Namespace) -> SimCluster:
@@ -112,6 +142,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
         sorted(summary.items()),
         title="workload summary",
     ))
+    _emit_metrics(cluster, args.metrics_json)
     return 0
 
 
@@ -141,6 +172,7 @@ def cmd_failover(args: argparse.Namespace) -> int:
         f"recovery: {rm['server_region_recoveries']} regions, "
         f"{rm['replayed_fragments']} fragments replayed"
     )
+    _emit_metrics(cluster, args.metrics_json)
     return 0
 
 
@@ -231,6 +263,10 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--tps", type=float, default=None,
                           help="offered load (default: closed loop)")
     workload.add_argument("--warmup", type=float, default=3.0)
+    workload.add_argument("--metrics-json", metavar="PATH", default=None,
+                          help="write the metrics snapshot (registries, span "
+                               "summaries, commit breakdown) as JSON; '-' for "
+                               "stdout")
     workload.set_defaults(func=cmd_workload)
 
     failover = sub.add_parser("failover", help="server-failure timeline")
@@ -238,6 +274,9 @@ def build_parser() -> argparse.ArgumentParser:
     failover.add_argument("--duration", type=float, default=120.0)
     failover.add_argument("--crash-at", type=float, default=40.0)
     failover.add_argument("--tps", type=float, default=250.0)
+    failover.add_argument("--metrics-json", metavar="PATH", default=None,
+                          help="write the metrics snapshot as JSON; '-' for "
+                               "stdout")
     failover.set_defaults(func=cmd_failover)
 
     chaos = sub.add_parser("chaos", help="seed-swept crash-recovery storms")

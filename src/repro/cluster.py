@@ -30,6 +30,7 @@ from repro.kvstore.keys import Cell, row_key, split_points_for
 from repro.kvstore.regionserver import _block_to_map
 from repro.kvstore.sstable import build_blocks, estimate_block_bytes
 from repro.kvstore.wal import SYNC
+from repro.metrics.spans import tracer_for
 from repro.sim import Kernel, LatencyModel, Network, Node, Resource
 from repro.txn import STORE_SYNC, TM_LOG, TransactionManager, TxnClient
 from repro.txn.log import RecoveryLog
@@ -144,6 +145,12 @@ class SimCluster:
         self._observer_zk = ZkClient(self.observer)
         self.clients: List[ClientHandle] = []
         self._started = False
+        #: Interval of the periodic metrics scrape (simulated seconds);
+        #: set to 0 before :meth:`start` to disable the scraper.
+        self.scrape_interval = 1.0
+        #: Rolling history of scraped snapshots (bounded).
+        self.metrics_history: List[dict] = []
+        self.max_metrics_history = 120
 
     # ------------------------------------------------------------------
     # sizing
@@ -196,7 +203,25 @@ class SimCluster:
             )
         )
         self._started = True
+        if self.scrape_interval > 0:
+            proc = self.observer.spawn(
+                self._metrics_scraper(), name="metrics-scraper"
+            )
+            proc.defuse()
         return self
+
+    def _metrics_scraper(self):
+        """Periodic scrape: fold every node registry into one snapshot.
+
+        Runs on the observer node purely in memory (no RPC traffic), so it
+        never perturbs the workload; snapshots land in
+        :attr:`metrics_history` with the newest last.
+        """
+        while True:
+            yield self.observer.sleep(self.scrape_interval)
+            self.metrics_history.append(self.metrics_snapshot())
+            if len(self.metrics_history) > self.max_metrics_history:
+                del self.metrics_history[: -self.max_metrics_history]
 
     # ------------------------------------------------------------------
     # helpers for driving the simulation
@@ -401,6 +426,85 @@ class SimCluster:
         return self.rm
 
     # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    #: Client-side commit stages: their per-transaction durations sum to
+    #: the end-to-end ``commit.rpc`` latency (``commit.reply`` is derived
+    #: as the exact remainder).
+    COMMIT_STAGES = ("commit.certify", "commit.log_append", "commit.reply")
+    #: Stages below the commit RPC, reported alongside the breakdown.
+    PIPELINE_STAGES = (
+        "log.group_sync",
+        "log.shard_append",
+        "flush.writeset",
+        "flush.region",
+        "rs.apply",
+        "wal.sync",
+    )
+
+    def metrics_snapshot(self) -> dict:
+        """One coherent snapshot of every component registry plus spans.
+
+        Folds each node's :class:`~repro.metrics.registry.MetricsRegistry`
+        into ``components`` (keyed ``component:addr``), the shared span
+        tracer's per-stage latency summaries into ``spans``, and the
+        commit-latency reconciliation into ``commit_breakdown``.  All
+        timing comes from the simulation clock, so two same-seed runs
+        produce byte-identical snapshots.
+        """
+        components = {}
+
+        def fold(snap: dict) -> None:
+            components[f"{snap['component']}:{snap['addr']}"] = snap
+
+        fold(self.net.metrics())
+        fold(self.tm.metrics())
+        fold(self.master.metrics())
+        if self.rm is not None:
+            fold(self.rm.metrics())
+            fold(self.rm.recovery_client.metrics())
+        for rs in self.servers:
+            fold(rs.metrics())
+        for shard in self.logger_shards:
+            fold(shard.metrics())
+        for handle in self.clients:
+            fold(handle.txn.metrics())
+            fold(handle.kv.metrics())
+        stages = tracer_for(self.kernel).stage_summary()
+        return {
+            "time": round(self.kernel.now, 9),
+            "components": components,
+            "spans": stages,
+            "commit_breakdown": self._commit_breakdown(stages),
+        }
+
+    def _commit_breakdown(self, stages: dict) -> dict:
+        """Reconcile per-stage commit latencies with the end-to-end RPC.
+
+        ``stage_p50_sum`` over :data:`COMMIT_STAGES` should land within a
+        few percent of the end-to-end ``commit.rpc`` p50 -- the derived
+        ``commit.reply`` remainder makes per-transaction sums exact, so
+        any residual gap is purely percentile skew.
+        """
+        e2e = stages.get("commit.rpc")
+        commit_stages = {s: stages[s] for s in self.COMMIT_STAGES if s in stages}
+        pipeline = {s: stages[s] for s in self.PIPELINE_STAGES if s in stages}
+        p50_sum = round(sum(s["p50"] for s in commit_stages.values()), 9)
+        out = {
+            "end_to_end": e2e,
+            "stages": commit_stages,
+            "pipeline": pipeline,
+            "stage_p50_sum": p50_sum,
+        }
+        if e2e and e2e["p50"] > 0:
+            out["p50_ratio"] = round(p50_sum / e2e["p50"], 6)
+        return out
+
+    def status(self, addr: str) -> dict:
+        """Uniform ``rpc_status`` envelope from any component node."""
+        return self.run(self.rpc(addr, "status"))
+
+    # ------------------------------------------------------------------
     # status
     # ------------------------------------------------------------------
     def enable_tracing(self, capacity: int = 100_000):
@@ -412,24 +516,43 @@ class SimCluster:
         return tracer
 
     def net_stats(self) -> dict:
-        """Fabric counters: traffic, chaos losses/duplicates, retries."""
+        """Fabric counters: traffic, chaos losses/duplicates, retries.
+
+        Deprecated: thin shim over the fabric registry -- prefer
+        ``metrics_snapshot()["components"]["network:net"]``.
+        """
         return self.net.chaos_counters()
 
     def cluster_status(self) -> dict:
-        """Assignment/liveness snapshot from the master."""
+        """Assignment/liveness snapshot from the master.
+
+        Deprecated for counters: prefer ``status("master")`` (the uniform
+        envelope); the assignment tables remain only here.
+        """
         return self.run(self.rpc(self.master.addr, "cluster_status"))
 
     def rm_status(self) -> dict:
-        """Threshold/recovery snapshot from the recovery manager."""
+        """Threshold/recovery snapshot from the recovery manager.
+
+        Deprecated: thin shim -- prefer ``status("rm")``.
+        """
         return self.run(self.rpc("rm", "rm_status"))
 
     def tm_stats(self) -> dict:
-        """Commit/log counters from the transaction manager."""
+        """Commit/log counters from the transaction manager.
+
+        Deprecated: thin shim -- prefer ``status("tm")`` or
+        ``metrics_snapshot()``.
+        """
         return self.run(self.rpc("tm", "tm_stats"))
 
     def storage_stats(self) -> dict:
         """Storage-layer snapshot: per-disk IO/fault counters, read
         integrity counters, and every non-clean salvage report.
+
+        Deprecated alongside the other ad-hoc surfaces: kept as the
+        storage-layer complement of :meth:`metrics_snapshot`, which does
+        not (yet) fold raw disk counters.
 
         The same pattern as :meth:`net_stats` for the fabric: the chaos
         harness embeds this in its report so injected torn/corrupt

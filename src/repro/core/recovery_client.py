@@ -19,6 +19,19 @@ from typing import List, Optional
 
 from repro.kvstore.client import KvClient
 from repro.kvstore.keys import WireCell
+from repro.metrics.registry import MetricsRegistry
+
+
+def _replay_counter(name: str, doc: str) -> property:
+    """A replay counter attribute backed by the client's registry."""
+
+    def fget(self: "RecoveryClient") -> int:
+        return self.registry.counter(name).value
+
+    def fset(self: "RecoveryClient", value: int) -> None:
+        self.registry.counter(name).set(value)
+
+    return property(fget, fset, doc=doc)
 
 
 class RecoveryClient:
@@ -27,9 +40,23 @@ class RecoveryClient:
     def __init__(self, kv: KvClient, tm_addr: str = "tm") -> None:
         self.kv = kv
         self.tm_addr = tm_addr
-        self.replayed_write_sets = 0
-        self.replayed_fragments = 0
-        self.replayed_cells = 0
+        #: Registry behind the replay counters (see ``metrics()``).
+        self.registry = MetricsRegistry("recovery_client", kv.host.addr)
+        for name in (
+            "replayed_write_sets", "replayed_fragments", "replayed_cells",
+        ):
+            self.registry.counter(name)
+
+    replayed_write_sets = _replay_counter(
+        "replayed_write_sets", "Whole write-sets replayed (client failures).")
+    replayed_fragments = _replay_counter(
+        "replayed_fragments", "Region fragments replayed (server failures).")
+    replayed_cells = _replay_counter(
+        "replayed_cells", "Individual cells replayed, either way.")
+
+    def metrics(self) -> dict:
+        """Uniform registry snapshot for the recovery client."""
+        return self.registry.snapshot()
 
     def replay_write_set(self, table: str, commit_ts: int, cells: List[WireCell]):
         """Client-failure replay: deliver a whole write-set.  (Generator.)"""

@@ -36,6 +36,8 @@ from repro.core.paths import (
 from repro.core.recovery_client import RecoveryClient
 from repro.errors import RpcError, RpcTimeout
 from repro.kvstore.client import KvClient
+from repro.metrics.registry import MetricsRegistry, status_envelope
+from repro.metrics.spans import tracer_for
 from repro.sim.events import Interrupt
 from repro.sim.kernel import Kernel
 from repro.sim.network import Network
@@ -132,13 +134,23 @@ class RecoveryManager(ZkWatcherMixin, Node):
         #: again as a fresh incarnation by then); consumed by the hook.
         self._fallen: Dict[str, int] = {}
         self.alerts: List[dict] = []
-        self.stats = {
-            "client_recoveries": 0,
-            "server_region_recoveries": 0,
-            "replayed_write_sets": 0,
-            "replayed_fragments": 0,
-            "truncation_requests": 0,
-        }
+        #: Registry behind all RM statistics (see ``metrics()``).
+        self.registry = MetricsRegistry("rm", addr)
+        #: Deprecated dict-style view; prefer ``metrics()`` / ``registry``.
+        self.stats = self.registry.counter_view(
+            "client_recoveries", "server_region_recoveries",
+            "replayed_write_sets", "replayed_fragments",
+            "truncation_requests",
+        )
+        self._tracer = tracer_for(kernel)
+        #: Open detection spans per pending region: started when the
+        #: master's failure hook pins the region, ended when its replay
+        #: releases the pin -- the paper's detect-to-unblock window.
+        self._detect_spans: Dict[str, object] = {}
+
+    def metrics(self) -> dict:
+        """Uniform registry snapshot for the recovery manager."""
+        return self.registry.snapshot()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -339,6 +351,8 @@ class RecoveryManager(ZkWatcherMixin, Node):
     # ------------------------------------------------------------------
     def _recover_client(self, client_id: str):
         entry = self.clients[client_id]
+        span = self._tracer.begin("recovery.client_replay", client=client_id)
+        fetch_span = span.child("recovery.log_fetch", client=client_id)
         records = yield from self.call_with_retry(
             self.tm_addr,
             "fetch_logs",
@@ -348,6 +362,7 @@ class RecoveryManager(ZkWatcherMixin, Node):
             after_ts=entry.threshold,
             client_id=client_id,
         )
+        fetch_span.end(records=len(records))
         for record in records:  # ascending commit-timestamp order
             for table, cells in sorted(record["cells_by_table"].items()):
                 yield from self.recovery_client.replay_write_set(
@@ -361,6 +376,7 @@ class RecoveryManager(ZkWatcherMixin, Node):
         except Exception:
             pass
         self.stats["client_recoveries"] += 1
+        span.end(write_sets=len(records))
 
     # ------------------------------------------------------------------
     # server failure recovery (Algorithm 4)
@@ -415,6 +431,13 @@ class RecoveryManager(ZkWatcherMixin, Node):
             if prev is None:
                 self.pending_regions[region] = (server, tp_failed)
                 entry.pending_regions += 1
+                # Detection-to-unblock window; ends when the replay
+                # releases the pin (or transfers it to a cascading death,
+                # which keeps the original span running).
+                if region not in self._detect_spans:
+                    self._detect_spans[region] = self._tracer.begin(
+                        "recovery.detect", region=region, failed_server=server
+                    )
                 continue
             prev_server, prev_tp = prev
             self.pending_regions[region] = (server, min(tp_failed, prev_tp))
@@ -481,6 +504,10 @@ class RecoveryManager(ZkWatcherMixin, Node):
         if host_entry is not None:
             host_entry.floors[region] = tp_failed
 
+        detect_span = self._detect_spans.get(region)
+        fetch_span = self._tracer.begin(
+            "recovery.log_fetch", parent=detect_span, region=region
+        )
         try:
             records = yield from self.call_with_retry(
                 self.tm_addr,
@@ -489,6 +516,10 @@ class RecoveryManager(ZkWatcherMixin, Node):
                 timeout=10.0,
                 retry_on=(RpcTimeout,),
                 after_ts=tp_failed,
+            )
+            fetch_span.end(records=len(records))
+            replay_span = self._tracer.begin(
+                "recovery.replay", parent=detect_span, region=region
             )
             replayed = 0
             for record in records:  # ascending commit-timestamp order
@@ -504,6 +535,7 @@ class RecoveryManager(ZkWatcherMixin, Node):
                 )
                 replayed += 1
                 self.stats["replayed_fragments"] += 1
+            replay_span.end(fragments=replayed)
         finally:
             if host_entry is not None:
                 host_entry.floors.pop(region, None)
@@ -520,6 +552,9 @@ class RecoveryManager(ZkWatcherMixin, Node):
             except Exception:
                 pass
             self._release_pin(pinned_server)
+            done_span = self._detect_spans.pop(region, None)
+            if done_span is not None:
+                done_span.end(replayed=replayed)
         self.stats["server_region_recoveries"] += 1
         return {"replayed": replayed}
 
@@ -560,7 +595,11 @@ class RecoveryManager(ZkWatcherMixin, Node):
     # introspection
     # ------------------------------------------------------------------
     def rpc_rm_status(self, sender: str) -> dict:
-        """Threshold and recovery snapshot for tests and tooling."""
+        """Threshold and recovery snapshot for tests and tooling.
+
+        Deprecated: thin shim over the registry -- prefer ``rpc_status``,
+        which returns the uniform component envelope.
+        """
         return {
             "global_tf": self.global_tf,
             "global_tp": self.global_tp,
@@ -576,3 +615,16 @@ class RecoveryManager(ZkWatcherMixin, Node):
             "alerts": len(self.alerts),
             **self.stats,
         }
+
+    def rpc_status(self, sender: str) -> dict:
+        """The uniform component status envelope (component/addr/metrics),
+        with the global thresholds and pin state as extra fields."""
+        return status_envelope(
+            "rm",
+            self.addr,
+            self.metrics(),
+            global_tf=self.global_tf,
+            global_tp=self.global_tp,
+            pending_regions=len(self.pending_regions),
+            alerts=len(self.alerts),
+        )

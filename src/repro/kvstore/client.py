@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.config import KvSettings
 from repro.errors import KvError, ReproError, RpcError
 from repro.kvstore.keys import WireCell
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.spans import tracer_for
 from repro.sim.node import Node
 from repro.sim.retry import RetryPolicy
 
@@ -49,7 +51,17 @@ class KvClient:
             max_attempts=None,
         )
         self._region_maps: Dict[str, List[MapEntry]] = {}
-        self.stats = {"gets": 0, "flush_fragments": 0, "retries": 0}
+        #: Registry behind all client statistics (see ``metrics()``).
+        self.registry = MetricsRegistry("kv_client", host.addr)
+        #: Deprecated dict-style view; prefer ``metrics()`` / ``registry``.
+        self.stats = self.registry.counter_view(
+            "gets", "flush_fragments", "retries"
+        )
+        self._tracer = tracer_for(host.kernel)
+
+    def metrics(self) -> dict:
+        """Uniform registry snapshot for this key-value client."""
+        return self.registry.snapshot()
 
     def _backoff(self, attempt: int):
         """Timeout event for the pause after ``attempt`` failed tries."""
@@ -219,13 +231,16 @@ class KvClient:
         piggyback_tp: Optional[int] = None,
         from_recovery: bool = False,
         max_retries: Optional[int] = None,
+        txn: Optional[str] = None,
     ):
         """Deliver one region's share of a write-set.  (Generator API.)
 
         Retries (unbounded by default) until the hosting server applies it.
-        Returns the server's ack dict.
+        Returns the server's ack dict.  ``txn`` is the span txn key of the
+        owning transaction, if any.
         """
         self.stats["flush_fragments"] += 1
+        span = self._tracer.begin("flush.region", txn=txn, region=region_id)
         attempt = 0
         row = cells[0][0]
         while True:
@@ -245,9 +260,17 @@ class KvClient:
                     piggyback_tp=piggyback_tp,
                     from_recovery=from_recovery,
                 )
+                span.end(attempts=attempt)
                 return result
             except (RpcError, KvError) as exc:
                 if max_retries is not None and attempt > max_retries:
+                    # Abandon (rather than close) the span: the caller
+                    # re-groups and retries under a fresh span, so timing
+                    # this failed attempt would double-count the work.
+                    span.tags["failed"] = True
+                    self._tracer.truncate_open(
+                        lambda s: s.span_id == span.span_id
+                    )
                     raise KvError(
                         f"flush({region_id!r}, ts={txn_ts}) failed "
                         f"after {attempt} tries: {exc!r}"
@@ -263,6 +286,7 @@ class KvClient:
         piggyback_tp: Optional[int] = None,
         from_recovery: bool = False,
         max_retries: Optional[int] = None,
+        txn: Optional[str] = None,
     ):
         """Flush a whole write-set, fragment per region, concurrently.
 
@@ -303,6 +327,7 @@ class KvClient:
                             piggyback_tp=piggyback_tp,
                             from_recovery=from_recovery,
                             max_retries=round_retries,
+                            txn=txn,
                         ),
                         name=f"flush:{txn_ts}:{region_id}",
                     ),

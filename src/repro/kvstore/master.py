@@ -27,6 +27,7 @@ from repro.kvstore.region import RegionDescriptor
 from repro.kvstore.regionserver import RS_ZNODE_DIR
 from repro.kvstore.wal import salvage_wal_records, wal_dir
 from repro.sim.events import Interrupt
+from repro.metrics.registry import MetricsRegistry, status_envelope
 from repro.sim.kernel import Kernel
 from repro.sim.network import Network
 from repro.sim.node import Node
@@ -60,13 +61,42 @@ class Master(ZkWatcherMixin, Node):
         self._live_servers: List[str] = []
         self._assign_cursor = itertools.count()
         self._epoch = itertools.count()
-        self._failures_handled = 0
         self._splitting: set = set()
-        self._splits = 0
-        self._merges = 0
+        #: Registry behind the coordination counters (see ``metrics()``).
+        self.registry = MetricsRegistry("master", addr)
+        for name in ("failures_handled", "splits", "merges"):
+            self.registry.counter(name)
         #: Non-clean salvage reports from log splitting (audit trail:
         #: damaged WAL records are accounted for, never silently skipped).
         self.salvage_reports: List[dict] = []
+
+    @property
+    def _failures_handled(self) -> int:
+        return self.registry.counter("failures_handled").value
+
+    @_failures_handled.setter
+    def _failures_handled(self, value: int) -> None:
+        self.registry.counter("failures_handled").set(value)
+
+    @property
+    def _splits(self) -> int:
+        return self.registry.counter("splits").value
+
+    @_splits.setter
+    def _splits(self, value: int) -> None:
+        self.registry.counter("splits").set(value)
+
+    @property
+    def _merges(self) -> int:
+        return self.registry.counter("merges").value
+
+    @_merges.setter
+    def _merges(self, value: int) -> None:
+        self.registry.counter("merges").set(value)
+
+    def metrics(self) -> dict:
+        """Uniform registry snapshot for the master."""
+        return self.registry.snapshot()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -169,8 +199,23 @@ class Master(ZkWatcherMixin, Node):
         """Region-server notification that a region came online."""
         self.online[region] = True
 
+    def rpc_status(self, sender: str) -> dict:
+        """The uniform component status envelope (component/addr/metrics),
+        with the live-server list as an extra field."""
+        return status_envelope(
+            "master",
+            self.addr,
+            self.metrics(),
+            live_servers=len(self._live_servers),
+            regions_online=sum(1 for v in self.online.values() if v),
+        )
+
     def rpc_cluster_status(self, sender: str) -> dict:
-        """Assignment snapshot for tooling and tests."""
+        """Assignment snapshot for tooling and tests.
+
+        Deprecated: thin shim over the registry -- prefer ``rpc_status``
+        for the counters; the assignment tables remain here.
+        """
         return {
             "live_servers": list(self._live_servers),
             "assignments": dict(self.assignments),

@@ -37,6 +37,8 @@ from repro.kvstore.region import (
 )
 from repro.kvstore.sstable import SSTable
 from repro.kvstore.wal import SYNC, WriteAheadLog
+from repro.metrics.registry import MetricsRegistry, status_envelope
+from repro.metrics.spans import tracer_for
 from repro.sim.events import Interrupt
 from repro.sim.kernel import Kernel
 from repro.sim.network import Network
@@ -98,14 +100,18 @@ class RegionServer(ZkWatcherMixin, Node):
         self._compacting: set = set()
         self._split_requested: set = set()
         self._epoch = 0
-        self.stats = {
-            "gets": 0,
-            "fragments": 0,
-            "cells_applied": 0,
-            "flushes": 0,
-            "compactions": 0,
-            "replay_salvages": 0,
-        }
+        #: Registry behind all server statistics (see ``metrics()``).
+        self.registry = MetricsRegistry("regionserver", addr)
+        #: Deprecated dict-style view; prefer ``metrics()`` / ``registry``.
+        self.stats = self.registry.counter_view(
+            "gets", "fragments", "cells_applied", "flushes", "compactions",
+            "replay_salvages",
+        )
+        self._tracer = tracer_for(kernel)
+
+    def metrics(self) -> dict:
+        """Uniform registry snapshot for this region server."""
+        return self.registry.snapshot()
 
     @property
     def incarnation(self) -> int:
@@ -216,9 +222,14 @@ class RegionServer(ZkWatcherMixin, Node):
                 # the live region, and re-announce since the master marks
                 # a region offline when it starts a failover for it.
                 if self.extension is not None and failed_server is not None:
+                    gate_span = self._tracer.begin(
+                        "recovery.region_gate",
+                        region=desc.region_id, failed_server=failed_server,
+                    )
                     yield from self.extension.region_gate(
                         desc.region_id, failed_server
                     )
+                    gate_span.end()
                 proc = self.spawn(
                     self._announce_online(desc.region_id),
                     name=f"announce:{desc.region_id}",
@@ -271,7 +282,12 @@ class RegionServer(ZkWatcherMixin, Node):
             # Transactional recovery gate (the paper's hook).
             if self.extension is not None and failed_server is not None:
                 region.state = RECOVERING
+                gate_span = self._tracer.begin(
+                    "recovery.region_gate",
+                    region=desc.region_id, failed_server=failed_server,
+                )
                 yield from self.extension.region_gate(desc.region_id, failed_server)
+                gate_span.end()
         except BaseException:
             # A failed open must not leave a corpse pinned OPENING:
             # retries and duplicates check ``self.regions`` to decide
@@ -498,6 +514,7 @@ class RegionServer(ZkWatcherMixin, Node):
             # A stale pre-split grouping: some cells belong elsewhere now.
             # Reject the whole fragment; the client re-groups and retries.
             raise WrongRegionServer(region_id, self.addr)
+        span = self._tracer.begin("rs.apply", region=region_id, ts=txn_ts)
         yield from self.cpu.use(
             self.settings.op_service_time * max(1, len(cells)) * 0.5
         )
@@ -509,6 +526,7 @@ class RegionServer(ZkWatcherMixin, Node):
 
         if self.wal.mode == SYNC:
             yield from self.wal.sync_through(seq)
+        span.end()
 
         if self.extension is not None:
             self.extension.on_fragment_applied(
@@ -685,7 +703,11 @@ class RegionServer(ZkWatcherMixin, Node):
         return sorted(self.regions)
 
     def rpc_server_status(self, sender: str) -> dict:
-        """Operational snapshot for tooling and tests."""
+        """Operational snapshot for tooling and tests.
+
+        Deprecated: thin shim over the registry -- prefer ``rpc_status``,
+        which returns the uniform component envelope.
+        """
         return {
             "addr": self.addr,
             "regions": {rid: r.state for rid, r in self.regions.items()},
@@ -694,3 +716,13 @@ class RegionServer(ZkWatcherMixin, Node):
             "cache_hit_rate": self.cache.hit_rate,
             "stats": dict(self.stats),
         }
+
+    def rpc_status(self, sender: str) -> dict:
+        """The uniform component status envelope (component/addr/metrics)."""
+        return status_envelope(
+            "regionserver",
+            self.addr,
+            self.metrics(),
+            regions={rid: r.state for rid, r in self.regions.items()},
+            wal_pending=self.wal.pending,
+        )

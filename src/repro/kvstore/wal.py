@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.dfs.client import DfsClient
 from repro.errors import DfsError
 from repro.kvstore.keys import WireCell
+from repro.metrics.spans import tracer_for
 from repro.sim.events import Event, Interrupt
 from repro.sim.resource import Resource
 from repro.storage import SegmentHeader, is_segment_header
@@ -170,14 +171,23 @@ class WriteAheadLog:
             batch_top = self.synced_seq + len(batch)
             if batch:
                 records = [(payload, nbytes) for payload, nbytes in batch]
+                span = tracer_for(self.host.kernel).begin(
+                    "wal.sync", server=self.host.addr, batch=len(records)
+                )
                 try:
                     yield from self._append_durable(records)
+                except Interrupt:
+                    # Crash mid-sync: leave the span open (truncated).
+                    self._buffer[0:0] = batch
+                    raise
                 except BaseException:
                     # Put the batch back so a later sync retries it; losing
                     # it here would leave synced_seq permanently behind
                     # appended_seq with nothing left to write.
                     self._buffer[0:0] = batch
+                    span.end(outcome="error")
                     raise
+                span.end()
                 self.sync_count += 1
                 self._file_records += len(records)
             self.synced_seq = batch_top

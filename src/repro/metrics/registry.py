@@ -1,0 +1,260 @@
+"""Per-node metrics registry: counters, gauges, and sim-time histograms.
+
+Every simulated component (transaction manager, region server, clients,
+network, recovery manager, ...) owns one :class:`MetricsRegistry`.  The
+registry is the *single* source of truth for that component's statistics;
+the legacy ad-hoc ``stats`` dicts are thin views
+(:class:`CounterView`) over the same counters, kept so existing call
+sites and tests continue to work unchanged.
+
+Design constraints:
+
+* **Determinism.**  Snapshots are plain dicts with deterministically
+  ordered keys (sorted at snapshot time) and values derived only from
+  simulation events, never from wall-clock time or hashing order.  Two
+  same-seed runs therefore produce byte-identical JSON exports.
+* **Pure stdlib.**  No third-party metrics client; histograms reuse
+  :class:`repro.metrics.histogram.LatencyHistogram` (exact percentiles
+  over raw samples).
+
+A metric name plus an optional, sorted label tuple identifies one time
+series, mirroring the familiar Prometheus data model::
+
+    reg = MetricsRegistry("tm", "tm0")
+    reg.counter("commits").inc()
+    reg.counter("flush_fragments", region="r3").inc(2)
+    reg.histogram("commit_latency").record(0.012)
+    reg.snapshot()   # -> {"component": "tm", "addr": "tm0", ...}
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, MutableMapping, Optional, Tuple
+
+from repro.metrics.histogram import LatencyHistogram
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    """Normalise a label dict into a hashable, deterministically ordered key."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _series_name(name: str, labels: LabelKey) -> str:
+    """Flatten ``name`` + labels into one snapshot key, e.g. ``a{r=1}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonic counter (with an escape hatch for legacy ``stats[k] = v``)."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self._value += amount
+
+    def set(self, value: int) -> None:
+        """Set an absolute value (legacy-shim support only)."""
+        self._value = value
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({_series_name(self.name, self.labels)}={self._value})"
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, open regions, ...)."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge."""
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({_series_name(self.name, self.labels)}={self._value})"
+
+
+class Histogram(LatencyHistogram):
+    """A :class:`LatencyHistogram` that knows its registry identity."""
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        super().__init__(name=_series_name(name, labels))
+        self.labels = labels
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms for one simulated component.
+
+    ``component`` names the component *kind* (``"tm"``, ``"regionserver"``,
+    ``"txn_client"``, ...); ``addr`` is the node address or instance name.
+    Both are echoed in :meth:`snapshot` so folded cluster-wide views stay
+    self-describing.
+    """
+
+    def __init__(self, component: str, addr: str = "") -> None:
+        self.component = component
+        self.addr = addr
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # -- metric accessors -------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Get or create the counter ``name`` with the given labels."""
+        key = (name, _label_key(labels))
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter(name, key[1])
+        return counter
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Get or create the gauge ``name`` with the given labels."""
+        key = (name, _label_key(labels))
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = self._gauges[key] = Gauge(name, key[1])
+        return gauge
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """Get or create the histogram ``name`` with the given labels."""
+        key = (name, _label_key(labels))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram(name, key[1])
+        return histogram
+
+    def counter_view(self, *names: str) -> "CounterView":
+        """A dict-like view over named counters (legacy ``stats`` shim)."""
+        return CounterView(self, names)
+
+    # -- export -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One deterministic dict with every metric this registry holds.
+
+        Shape (the *uniform snapshot shape* every component shares)::
+
+            {"component": ..., "addr": ...,
+             "counters":   {series_name: int},
+             "gauges":     {series_name: float},
+             "histograms": {series_name: {count, mean, p50, p95, p99, max}}}
+        """
+        counters = {
+            _series_name(name, labels): c.value
+            for (name, labels), c in self._counters.items()
+        }
+        gauges = {
+            _series_name(name, labels): g.value
+            for (name, labels), g in self._gauges.items()
+        }
+        histograms = {
+            _series_name(name, labels): h.summary()
+            for (name, labels), h in self._histograms.items()
+        }
+        return {
+            "component": self.component,
+            "addr": self.addr,
+            "counters": {k: counters[k] for k in sorted(counters)},
+            "gauges": {k: gauges[k] for k in sorted(gauges)},
+            "histograms": {k: histograms[k] for k in sorted(histograms)},
+        }
+
+
+class CounterView(MutableMapping):
+    """Dict-like facade over registry counters.
+
+    Lets long-standing call sites (``self.stats["commits"] += 1``, tests
+    asserting ``stats["aborts"] == 0``) keep working while the registry
+    holds the actual values.  Deprecated: new code should use
+    :meth:`MetricsRegistry.counter` directly.
+    """
+
+    def __init__(self, registry: MetricsRegistry, names: Tuple[str, ...]) -> None:
+        self._registry = registry
+        self._names = list(names)
+        for name in names:
+            registry.counter(name)  # materialise so iteration order is fixed
+
+    def __getitem__(self, name: str) -> int:
+        if name not in self._names:
+            raise KeyError(name)
+        return self._registry.counter(name).value
+
+    def __setitem__(self, name: str, value: int) -> None:
+        if name not in self._names:
+            self._names.append(name)
+        self._registry.counter(name).set(value)
+
+    def __delitem__(self, name: str) -> None:
+        raise TypeError("registry-backed stats cannot delete counters")
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CounterView({dict(self)})"
+
+
+def status_envelope(
+    component: str,
+    addr: str,
+    metrics: dict,
+    **extras: object,
+) -> dict:
+    """The common ``rpc_status`` reply shape every component returns.
+
+    ``{"component", "addr", "metrics", ...}`` — extra keys carry
+    component-specific fields (thresholds, assignments, log positions) so
+    the CLI and chaos report can render any component uniformly while
+    still exposing specifics.
+    """
+    envelope = {"component": component, "addr": addr, "metrics": metrics}
+    for key, value in extras.items():
+        envelope[key] = value
+    return envelope
+
+
+def merge_counters(*snapshots: dict) -> Dict[str, int]:
+    """Sum the ``counters`` maps of several snapshots (cluster roll-ups)."""
+    totals: Dict[str, int] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            totals[name] = totals.get(name, 0) + value
+    return {k: totals[k] for k in sorted(totals)}

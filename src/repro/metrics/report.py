@@ -93,6 +93,74 @@ def storage_table(storage: dict, title: Optional[str] = "storage") -> str:
     return "\n".join(lines)
 
 
+def spans_table(
+    stage_summary: dict,
+    title: Optional[str] = "commit-path stages",
+) -> str:
+    """Per-stage latency breakdown from ``SpanTracer.stage_summary()``.
+
+    One row per stage: sample count, mean/p50/p95/p99/max in
+    milliseconds, plus the crash-truncated span count when non-zero.
+    """
+    rows = []
+    for stage, stats in sorted(stage_summary.items()):
+        rows.append((
+            stage,
+            stats.get("count", 0),
+            ms(stats.get("mean", 0.0)),
+            ms(stats.get("p50", 0.0)),
+            ms(stats.get("p95", 0.0)),
+            ms(stats.get("p99", 0.0)),
+            ms(stats.get("max", 0.0)),
+            stats.get("truncated", 0) or "-",
+        ))
+    return format_table(
+        ["stage", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms",
+         "max ms", "trunc"],
+        rows,
+        title=title,
+    )
+
+
+def status_table(envelope: dict, title: Optional[str] = None) -> str:
+    """Render any component's ``rpc_status`` envelope as one table.
+
+    Works for every component because they all reply with the same
+    ``{"component", "addr", "metrics", ...}`` shape: counters and gauges
+    become one row each, histograms one row per headline statistic, and
+    extra envelope fields (thresholds, log positions, ...) are listed
+    beneath the table.
+    """
+    component = envelope.get("component", "?")
+    addr = envelope.get("addr", "?")
+    metrics = envelope.get("metrics", {})
+    rows = []
+    for name, value in sorted(metrics.get("counters", {}).items()):
+        rows.append((name, value))
+    for name, value in sorted(metrics.get("gauges", {}).items()):
+        rows.append((name, value))
+    for name, stats in sorted(metrics.get("histograms", {}).items()):
+        rows.append((
+            f"{name} (n={stats.get('count', 0)})",
+            f"p50={_fmt(ms(stats.get('p50', 0.0)))}ms "
+            f"p99={_fmt(ms(stats.get('p99', 0.0)))}ms",
+        ))
+    lines = [format_table(
+        ["metric", "value"],
+        rows,
+        title=title or f"{component} @ {addr}",
+    )]
+    extras = {
+        k: v for k, v in envelope.items()
+        if k not in ("component", "addr", "metrics")
+    }
+    if extras:
+        lines.append(
+            " ".join(f"{k}={v}" for k, v in sorted(extras.items()))
+        )
+    return "\n".join(lines)
+
+
 def ascii_chart(
     series: Sequence[tuple],
     height: int = 10,

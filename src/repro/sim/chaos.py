@@ -140,6 +140,10 @@ class ChaosReport:
     net: dict = field(default_factory=dict)
     tm: dict = field(default_factory=dict)
     storage: dict = field(default_factory=dict)
+    #: Full unified snapshot (:meth:`SimCluster.metrics_snapshot`): every
+    #: component registry plus commit-path span summaries, including
+    #: spans truncated by crashes mid-stage.
+    metrics: dict = field(default_factory=dict)
     events: int = 0
 
     @property
@@ -566,6 +570,7 @@ def run_chaos(
     report.net = cluster.net_stats()
     report.tm = cluster.tm_stats()
     report.storage = cluster.storage_stats()
+    report.metrics = cluster.metrics_snapshot()
     report.events = cluster.kernel.event_count
     note(
         f"audit: {report.acknowledged} acknowledged, "

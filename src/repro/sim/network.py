@@ -23,10 +23,28 @@ from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Optional, Set
 
 from repro.errors import SimulationError
+from repro.metrics.registry import MetricsRegistry
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Kernel
     from repro.sim.node import Node
+
+
+def _fabric_counter(name: str, doc: str) -> property:
+    """A fabric counter attribute backed by the network's registry.
+
+    Exposed as a plain int attribute so the long-standing mutation idiom
+    (``net.rpc_retries += 1`` from retry loops) keeps working while the
+    value lives in the :class:`MetricsRegistry`.
+    """
+
+    def fget(self: "Network") -> int:
+        return self.registry.counter(name).value
+
+    def fset(self: "Network", value: int) -> None:
+        self.registry.counter(name).set(value)
+
+    return property(fget, fset, doc=doc)
 
 
 @dataclass
@@ -74,8 +92,14 @@ class Network:
         self.nodes: Dict[str, "Node"] = {}
         self._partitions: Set[FrozenSet[str]] = set()
         self._rng = kernel.rng.substream("network")
-        self.messages_sent = 0
-        self.messages_dropped = 0
+        #: Registry behind every fabric counter (see ``metrics()``).
+        self.registry = MetricsRegistry("network", "net")
+        for name in (
+            "messages_sent", "messages_dropped", "messages_lost",
+            "messages_duplicated", "delay_spikes", "rpc_retries",
+            "duplicates_suppressed",
+        ):
+            self.registry.counter(name)
         #: Optional message tracer (see repro.metrics.tracing).
         self.tracer = None
         # ----- chaos layer (all off by default) ------------------------
@@ -94,14 +118,28 @@ class Network:
         # Chaos draws use their own substream so that turning chaos on
         # does not shift the latency-jitter sequence of `_rng`.
         self._chaos_rng = kernel.rng.substream("network.chaos")
-        self.messages_lost = 0
-        self.messages_duplicated = 0
-        self.delay_spikes = 0
-        #: Application-level retries routed through this fabric (counted
-        #: by Node.call_with_retry and the client retry loops).
-        self.rpc_retries = 0
-        #: Duplicate requests suppressed by receivers' transport dedup.
-        self.duplicates_suppressed = 0
+
+    messages_sent = _fabric_counter(
+        "messages_sent", "Messages injected into the fabric.")
+    messages_dropped = _fabric_counter(
+        "messages_dropped", "Messages dropped by partitions or dead nodes.")
+    messages_lost = _fabric_counter(
+        "messages_lost", "Messages lost by the chaos layer.")
+    messages_duplicated = _fabric_counter(
+        "messages_duplicated", "Messages duplicated by the chaos layer.")
+    delay_spikes = _fabric_counter(
+        "delay_spikes", "Heavy-tail delay spikes applied by the chaos layer.")
+    rpc_retries = _fabric_counter(
+        "rpc_retries",
+        "Application-level retries routed through this fabric (counted by "
+        "Node.call_with_retry and the client retry loops).")
+    duplicates_suppressed = _fabric_counter(
+        "duplicates_suppressed",
+        "Duplicate requests suppressed by receivers' transport dedup.")
+
+    def metrics(self) -> dict:
+        """Uniform registry snapshot for the network fabric."""
+        return self.registry.snapshot()
 
     # ------------------------------------------------------------------
     # chaos configuration
@@ -142,7 +180,11 @@ class Network:
             self._degraded.pop(addr, None)
 
     def chaos_counters(self) -> Dict[str, int]:
-        """Fabric-level counters for chaos reports and metrics."""
+        """Fabric-level counters for chaos reports and metrics.
+
+        Deprecated: thin shim over the registry -- prefer :meth:`metrics`,
+        which returns the uniform component snapshot shape.
+        """
         return {
             "messages_sent": self.messages_sent,
             "messages_dropped": self.messages_dropped,

@@ -23,6 +23,8 @@ from typing import Any, Optional
 
 from repro.errors import TxnConflict
 from repro.kvstore.client import KvClient
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.spans import tracer_for
 from repro.sim.events import Interrupt
 from repro.sim.node import Node
 from repro.sim.retry import RetryPolicy
@@ -62,23 +64,40 @@ class TxnClient:
         #: Recovery-tracking hook (Algorithm 1); None disables tracking.
         self.tracker = tracker
         self._local_ids = itertools.count(1)
-        self.stats = {"begun": 0, "committed": 0, "aborted": 0, "flushed": 0}
+        #: Registry behind all client statistics (see ``metrics()``).
+        self.registry = MetricsRegistry("txn_client", self.client_id)
+        #: Deprecated dict-style view; prefer ``metrics()`` / ``registry``.
+        self.stats = self.registry.counter_view(
+            "begun", "committed", "aborted", "flushed"
+        )
+        self._tracer = tracer_for(host.kernel)
+
+    def metrics(self) -> dict:
+        """Uniform registry snapshot for this transactional client."""
+        return self.registry.snapshot()
+
+    def _txn_key(self, ctx: TxnContext) -> str:
+        return f"{self.client_id}:{ctx.txn_id}"
 
     # ------------------------------------------------------------------
     # transaction lifecycle (generator API)
     # ------------------------------------------------------------------
     def begin(self):
         """Start a transaction; returns its :class:`TxnContext`."""
+        span = self._tracer.begin("txn.begin")
         reply = yield from self.host.call_with_retry(
             self.tm_addr, "begin", policy=self.retry_policy, timeout=10.0,
             client_id=self.client_id,
         )
         self.stats["begun"] += 1
-        return TxnContext(
+        ctx = TxnContext(
             txn_id=reply["txn_id"],
             start_ts=reply["start_ts"],
             client_id=self.client_id,
         )
+        span.txn = self._txn_key(ctx)
+        span.end()
+        return ctx
 
     def read(self, ctx: TxnContext, table: str, row: str, column: str = "f"):
         """Snapshot read at the transaction's start timestamp.
@@ -101,20 +120,24 @@ class TxnClient:
         start_row: str,
         end_row: Optional[str] = None,
         limit: int = 1000,
+        column: str = "f",
     ):
-        """Filtered range scan at the transaction's snapshot.
+        """Filtered range scan of one column at the transaction's snapshot.
 
         Returns ``[(row, value)]``, rows ascending.  Buffered writes of
-        this transaction overlay the scan (read-your-own-writes), and its
-        buffered deletes hide rows.
+        this transaction *to the scanned column* overlay the scan
+        (read-your-own-writes), and its buffered deletes of that column
+        hide rows; writes to other columns are invisible here.
         """
         ctx.require_active()
         cells = yield from self.kv.scan(
             table, start_row, end_row, max_version=ctx.start_ts, limit=limit
         )
-        merged = {row: value for row, _col, _version, value in cells}
-        for (t, row, _column), value in ctx.write_set.writes.items():
-            if t != table or row < start_row:
+        merged = {
+            row: value for row, col, _version, value in cells if col == column
+        }
+        for (t, row, col), value in ctx.write_set.writes.items():
+            if t != table or col != column or row < start_row:
                 continue
             if end_row is not None and row >= end_row:
                 continue
@@ -158,6 +181,8 @@ class TxnClient:
         Raises :class:`TxnConflict` if certification fails.
         """
         ctx.require_active()
+        txn_key = self._txn_key(ctx)
+        span = self._tracer.begin("commit.rpc", txn=txn_key)
         writes = [
             (table, row, column, value)
             for (table, row, column), value in sorted(ctx.write_set.writes.items())
@@ -181,22 +206,25 @@ class TxnClient:
             ctx.transition(ABORTED)
             ctx.abort_reason = f"conflict on {reply.get('conflict_key')}"
             self.stats["aborted"] += 1
+            span.end(outcome="aborted")
             raise TxnConflict(ctx.txn_id, tuple(reply.get("conflict_key") or ()))
 
         ctx.commit_ts = reply["commit_ts"]
         if reply.get("read_only"):
             ctx.transition(COMMITTED)
             self.stats["committed"] += 1
+            self._end_commit_span(span, txn_key)
             return ctx
 
         if self.durability == STORE_SYNC:
             # Baseline: durability comes from the store, so the flush is
             # part of the commit path.
-            yield from self._flush(ctx)
+            yield from self._flush(ctx, parent=span)
             ctx.transition(COMMITTED)
             ctx.transition(FLUSHED)
             self.host.cast(self.tm_addr, "flushed", commit_ts=ctx.commit_ts)
             self.stats["committed"] += 1
+            self._end_commit_span(span, txn_key)
             return ctx
 
         # Paper mode: committed now; flush afterwards.
@@ -204,20 +232,83 @@ class TxnClient:
             yield from self.tracker.note_commit(ctx.commit_ts)
         ctx.transition(COMMITTED)
         self.stats["committed"] += 1
+        self._end_commit_span(span, txn_key)
         flush_proc = self.host.spawn(
-            self._flush_after_commit(ctx), name=f"flush:{ctx.commit_ts}"
+            self._flush_after_commit(ctx, parent=span),
+            name=f"flush:{ctx.commit_ts}",
         )
         flush_proc.defuse()
         if wait_flush:
             yield flush_proc
         return ctx
 
+    def _end_commit_span(self, span, txn_key: str) -> None:
+        """Close the commit span and derive the ``commit.reply`` stage.
+
+        The TM-side children (certification and log append) are measured
+        at the TM under the same txn key; the remainder of the
+        client-observed commit -- request/response network time, TM
+        queueing, and client bookkeeping -- is recorded as the derived
+        ``commit.reply`` stage so the per-stage breakdown sums exactly to
+        the end-to-end commit latency.
+        """
+        span.end(outcome="committed")
+        accounted = self._tracer.sum_durations(
+            txn_key, ("commit.certify", "commit.log_append")
+        )
+        remainder = max(span.duration - accounted, 0.0)
+        self._tracer.record("commit.reply", remainder, txn=txn_key, parent=span)
+
+    def transaction(self, body, retries: int = 0, wait_flush: bool = False):
+        """Run ``body`` inside a transaction.  (Generator API.)
+
+        ``body`` is a generator function taking the :class:`TxnContext`;
+        this helper begins a transaction, delegates to ``body(ctx)``,
+        and commits.  If ``body`` raises -- or the commit certification
+        fails -- the transaction is aborted automatically (unless
+        ``body`` already aborted it itself, e.g. a business-rule abort).
+        :class:`TxnConflict` is retried up to ``retries`` times with the
+        client's shared :class:`RetryPolicy` backoff; anything else
+        propagates after the auto-abort.
+
+        Returns ``(ctx, result)`` -- the committed context (its
+        ``commit_ts`` is set) and ``body``'s return value::
+
+            def deposit(ctx):
+                balance = yield from client.read(ctx, TABLE, "acct")
+                client.write(ctx, TABLE, "acct", balance + 100)
+                return balance
+
+            ctx, old = yield from client.transaction(deposit, retries=3)
+        """
+        attempt = 0
+        while True:
+            ctx = yield from self.begin()
+            try:
+                result = yield from body(ctx)
+                if ctx.active:  # body may have aborted on a business rule
+                    yield from self.commit(ctx, wait_flush=wait_flush)
+            except TxnConflict:
+                # commit() already transitioned the context to aborted.
+                if attempt >= retries:
+                    raise
+                attempt += 1
+                yield self.host.sleep(
+                    self.retry_policy.backoff(attempt, self.host.retry_rng)
+                )
+                continue
+            except BaseException:
+                if ctx.active:
+                    yield from self.abort(ctx)
+                raise
+            return ctx, result
+
     # ------------------------------------------------------------------
     # flush path
     # ------------------------------------------------------------------
-    def _flush_after_commit(self, ctx: TxnContext):
+    def _flush_after_commit(self, ctx: TxnContext, parent=None):
         try:
-            yield from self._flush(ctx)
+            yield from self._flush(ctx, parent=parent)
         except Interrupt:
             raise  # client crashed mid-flush: the recovery manager's case
         ctx.transition(FLUSHED)
@@ -228,7 +319,15 @@ class TxnClient:
         if self.tracker is not None:
             yield from self.tracker.note_flushed(ctx.commit_ts)
 
-    def _flush(self, ctx: TxnContext):
+    def _flush(self, ctx: TxnContext, parent=None):
+        # A span that never closes marks a crash-truncated flush -- the
+        # case the recovery middleware exists for.
+        span = self._tracer.begin(
+            "flush.writeset", txn=self._txn_key(ctx), parent=parent
+        )
         for table in ctx.write_set.tables():
             cells = ctx.write_set.stamped_cells(table, ctx.commit_ts)
-            yield from self.kv.flush_write_set(table, ctx.commit_ts, cells)
+            yield from self.kv.flush_write_set(
+                table, ctx.commit_ts, cells, txn=span.txn
+            )
+        span.end()

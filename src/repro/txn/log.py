@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 from repro.config import TxnSettings
 from repro.kvstore.keys import WireCell
 from repro.errors import DiskWriteError
+from repro.metrics.spans import tracer_for
 from repro.sim.disk import Disk
 from repro.sim.events import Event, Interrupt
 from repro.sim.node import Node
@@ -144,19 +145,25 @@ class RecoveryLog:
                 if self.settings.group_commit_interval > 0:
                     yield self.host.sleep(self.settings.group_commit_interval)
                 batch = [first] + self._pending.drain()
+                tracer = tracer_for(self.host.kernel)
                 while batch:
                     chunk = batch[: self.settings.group_commit_max]
                     nbytes = sum(record.nbytes for record, _done in chunk)
+                    sync_span = tracer.begin(
+                        "log.group_sync", batch=len(chunk), nbytes=nbytes
+                    )
                     try:
                         durable = yield from self.disk.sync_write(nbytes)
                     except DiskWriteError:
                         # Transient device error: nothing landed; retry the
                         # same chunk after a beat.  Commit latency absorbs
                         # the stall -- the waiters' events simply fire late.
+                        sync_span.end(outcome="write_error")
                         yield self.host.sleep(
                             self.settings.group_commit_interval or 0.001
                         )
                         continue
+                    sync_span.end()
                     batch = batch[self.settings.group_commit_max :]
                     self.stats.syncs += 1
                     self.stats.group_sizes.append(len(chunk))

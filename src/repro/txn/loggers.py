@@ -19,6 +19,8 @@ import bisect
 from typing import Dict, List, Optional
 
 from repro.config import TxnSettings
+from repro.metrics.registry import MetricsRegistry, status_envelope
+from repro.metrics.spans import tracer_for
 from repro.sim.disk import Disk
 from repro.sim.events import Event, Interrupt
 from repro.sim.kernel import Kernel
@@ -51,6 +53,20 @@ class LoggerShard(Node):
         self._records: List[LogRecord] = []  # ascending commit_ts
         self._timestamps: List[int] = []
         self.stats = LogStats()
+        #: Registry view of the shard counters (see ``metrics()``).
+        self.registry = MetricsRegistry("logger_shard", addr)
+        self._tracer = tracer_for(kernel)
+
+    def metrics(self) -> dict:
+        """Uniform registry snapshot (shard counters mirrored in)."""
+        for name in ("appended", "syncs", "truncated", "truncated_bytes"):
+            self.registry.counter(name).set(getattr(self.stats, name))
+        self.registry.gauge("length").set(len(self._records))
+        return self.registry.snapshot()
+
+    def rpc_status(self, sender: str):
+        """The uniform component status envelope."""
+        return status_envelope("logger_shard", self.addr, self.metrics())
 
     def rpc_shard_append(self, sender: str, records: List[dict]):
         """Durably append a batch (one disk sync for the whole batch).
@@ -61,7 +77,11 @@ class LoggerShard(Node):
         """
         parsed = [LogRecord.from_wire(w) for w in records]
         nbytes = sum(max(r.nbytes, 96) for r in parsed)
+        span = self._tracer.begin(
+            "log.group_sync", shard=self.addr, batch=len(parsed)
+        )
         yield from self.disk.sync_write(nbytes)
+        span.end()
         for record in parsed:
             idx = bisect.bisect_left(self._timestamps, record.commit_ts)
             if idx < len(self._timestamps) and self._timestamps[idx] == record.commit_ts:
@@ -148,6 +168,9 @@ class DistributedRecoveryLog:
                     batch = batch[self.settings.group_commit_max :]
                     wire = [record.to_wire() for record, _done in chunk]
                     nbytes = sum(record.nbytes for record, _done in chunk)
+                    span = tracer_for(self.host.kernel).begin(
+                        "log.shard_append", shard=shard, batch=len(chunk)
+                    )
                     while True:
                         try:
                             yield self.host.call(
@@ -157,6 +180,7 @@ class DistributedRecoveryLog:
                                 size=max(nbytes, 96),
                                 records=wire,
                             )
+                            span.end()
                             break
                         except Exception:
                             # Logging nodes are reliable stable storage in

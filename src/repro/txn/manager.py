@@ -19,6 +19,8 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import TxnSettings
+from repro.metrics.registry import MetricsRegistry, status_envelope
+from repro.metrics.spans import tracer_for
 from repro.sim.events import Interrupt
 from repro.sim.kernel import Kernel
 from repro.sim.network import Network
@@ -57,13 +59,13 @@ class TransactionManager(Node):
             self.log = RecoveryLog(self, self.settings)
         self.cpu = shared_cpu or Resource(kernel, capacity=self.settings.rpc_workers)
         self._txn_ids = itertools.count(1)
-        self.stats = {
-            "begins": 0,
-            "commits": 0,
-            "aborts": 0,
-            "read_only": 0,
-            "duplicate_commits": 0,
-        }
+        #: Registry behind all TM statistics (see ``metrics()``).
+        self.registry = MetricsRegistry("tm", addr)
+        #: Deprecated dict-style view; prefer ``metrics()`` / ``registry``.
+        self.stats = self.registry.counter_view(
+            "begins", "commits", "aborts", "read_only", "duplicate_commits"
+        )
+        self._tracer = tracer_for(kernel)
         # Idempotent commit handling: remember each transaction's verdict
         # so a retried (response lost) or duplicated commit request
         # returns the original decision instead of re-certifying -- a
@@ -161,20 +163,25 @@ class TransactionManager(Node):
         log_commit: bool,
     ):
         """Certify, stamp, and (optionally) log one commit.  (Generator.)"""
+        txn_key = f"{client_id}:{txn_id}"
+        certify_span = self._tracer.begin("commit.certify", txn=txn_key)
         yield from self.cpu.use(self.settings.op_service_time)
         if not writes:
             self.stats["read_only"] += 1
+            certify_span.end(outcome="read_only")
             return {"status": "committed", "commit_ts": start_ts, "read_only": True}
 
         keys = [(table, row, column) for table, row, column, _value in writes]
         conflict = self.certifier.certify(start_ts, keys)
         if conflict is not None:
             self.stats["aborts"] += 1
+            certify_span.end(outcome="aborted")
             return {"status": "aborted", "conflict_key": list(conflict)}
 
         commit_ts = self.oracle.next()
         self.certifier.record(commit_ts, keys)
         self.stats["commits"] += 1
+        certify_span.end(outcome="committed")
         if self.settings.snapshot_visibility == "flushed":
             heapq.heappush(self._unflushed, commit_ts)
 
@@ -190,7 +197,11 @@ class TransactionManager(Node):
                 cells_by_table=cells_by_table,
                 nbytes=max(96 * len(writes), 96),
             )
+            # Queue wait + group-commit window + disk sync, all in one
+            # stage: the client is unblocked exactly when this ends.
+            append_span = certify_span.child("commit.log_append")
             yield self.log.append(record)
+            append_span.end()
         return {"status": "committed", "commit_ts": commit_ts}
 
     def rpc_flushed(self, sender: str, commit_ts: int) -> None:
@@ -236,11 +247,14 @@ class TransactionManager(Node):
         """The newest allocated timestamp."""
         return self.oracle.current()
 
-    def rpc_tm_stats(self, sender: str):
-        """Counters for tests and benchmarks."""
+    def metrics(self) -> dict:
+        """Uniform registry snapshot for the transaction manager."""
+        return self.registry.snapshot()
+
+    def _log_fields(self):
+        """Log counters shared by ``rpc_status`` and the stats shim."""
         log_stats = yield from self.log.stats_gen()
         out = {
-            **self.stats,
             "log_length": log_stats["length"],
             "log_syncs": log_stats["syncs"],
             "log_appended": log_stats["appended"],
@@ -252,3 +266,18 @@ class TransactionManager(Node):
             out["log_truncated_below"] = local
             out["log_mean_group"] = self.log.stats.mean_group_size
         return out
+
+    def rpc_status(self, sender: str):
+        """The uniform component status envelope (component/addr/metrics),
+        with the recovery-log position counters as extra fields."""
+        log_fields = yield from self._log_fields()
+        return status_envelope("tm", self.addr, self.metrics(), **log_fields)
+
+    def rpc_tm_stats(self, sender: str):
+        """Counters for tests and benchmarks.
+
+        Deprecated: thin shim over the registry -- prefer ``rpc_status``,
+        which returns the uniform component envelope.
+        """
+        log_fields = yield from self._log_fields()
+        return {**self.stats, **log_fields}
