@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos chaos-disk bench bench-paper examples demo clean
+.PHONY: install test chaos chaos-disk check-sweep bench bench-paper examples demo clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,15 @@ chaos:
 
 chaos-disk:
 	$(PYTHON) -m repro chaos --seeds 20 --disk-faults --json chaos-disk-report.json
+
+# Oracle-backed sweeps with per-seed history artifacts: each seed's
+# recorded operation history lands under artifacts/ and can be
+# re-audited offline with `python -m repro check <file>`.
+check-sweep:
+	$(PYTHON) -m repro chaos --seeds 20 \
+		--json artifacts/check-sweep.json --history-dir artifacts/histories
+	$(PYTHON) -m repro chaos --seeds 20 --disk-faults \
+		--json artifacts/check-sweep-disk.json --history-dir artifacts/histories-disk
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -1,0 +1,34 @@
+"""History-based consistency oracle (the checking subsystem).
+
+Three cooperating pieces turn the paper's guarantees into mechanically
+checked properties:
+
+* :class:`HistoryRecorder` -- a low-overhead, sim-time-stamped log of
+  every operation outcome (begin/read/write/scan/commit/abort/flush)
+  observed by the transactional clients, serializable to a deterministic
+  JSON history file;
+* :class:`SIChecker` -- an offline checker that rebuilds the version
+  order from commit timestamps and detects snapshot-isolation anomalies
+  over a recorded history;
+* :class:`InvariantMonitor` -- online assertions over the live cluster's
+  threshold state (Algorithms 1-4): ``T_P <= T_F``, monotonicity,
+  ``T_P(s)`` never above the global ``T_F`` it last read, and no log
+  truncation past ``T_P``.
+
+See ``docs/CHECKING.md`` for the history format and the anomaly
+catalogue mapped to the paper's algorithms.
+"""
+
+from repro.check.history import HistoryRecorder, load_history
+from repro.check.monitor import InvariantMonitor, evaluate_invariants
+from repro.check.sichecker import Anomaly, CheckReport, SIChecker
+
+__all__ = [
+    "Anomaly",
+    "CheckReport",
+    "HistoryRecorder",
+    "InvariantMonitor",
+    "SIChecker",
+    "evaluate_invariants",
+    "load_history",
+]

@@ -1,0 +1,225 @@
+"""Operation-history recording for the consistency oracle.
+
+A :class:`HistoryRecorder` attaches to any number of
+:class:`~repro.txn.client.TxnClient` instances (``recorder.attach(txn)``)
+and logs every operation outcome the clients observe, stamped with
+simulation time: begins (with the snapshot timestamp), reads and scans
+(with the *version* each returned value carried), buffered writes and
+deletes, commit attempts (with the full write-set put on the wire),
+commit/abort outcomes, and flush completions (via the
+:class:`~repro.txn.context.TxnContext` state machine, so asynchronous
+post-commit flushes are captured too).
+
+The resulting history is a plain list of dicts, serialized as canonical
+JSON (sorted keys, fixed separators): two same-seed simulation runs
+produce **byte-identical** history files, which is what makes the
+offline checker's reports reproducible evidence rather than one-off
+observations.
+
+Ack semantics: a transaction with a ``commit_attempt`` event but neither
+a ``commit`` nor an ``abort`` event was *unacknowledged* -- the client
+crashed (or gave up) without learning the verdict.  The checker treats
+such transactions as "maybe committed", exactly the case Algorithm 2's
+client recovery exists for.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Any, List, Optional
+
+from repro.metrics.registry import MetricsRegistry
+from repro.sim.kernel import Kernel
+from repro.txn.context import FLUSHED, TxnContext
+
+#: History file format version (bump on incompatible schema changes).
+FORMAT_VERSION = 1
+
+
+def txn_key(ctx: TxnContext) -> str:
+    """The globally unique transaction key, as used by the span tracer."""
+    return f"{ctx.client_id}:{ctx.txn_id}"
+
+
+class HistoryRecorder:
+    """Sim-time-stamped log of every transactional operation outcome."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.events: List[dict] = []
+        self._seq = itertools.count()
+        #: Oracle counters (folded into the cluster metrics snapshot).
+        self.registry = MetricsRegistry("oracle", "recorder")
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def attach(self, txn_client) -> None:
+        """Start recording this transactional client's operations."""
+        txn_client.recorder = self
+
+    # ------------------------------------------------------------------
+    # event emission (called by TxnClient / TxnContext)
+    # ------------------------------------------------------------------
+    def _emit(self, etype: str, **fields: Any) -> None:
+        event = {
+            "e": etype,
+            "seq": next(self._seq),
+            "t": round(self.kernel.now, 9),
+        }
+        event.update(fields)
+        self.events.append(event)
+        self.registry.counter("events").inc()
+        self.registry.counter("events_by_kind", kind=etype).inc()
+
+    def note_begin(self, ctx: TxnContext) -> None:
+        """A transaction opened with its snapshot timestamp."""
+        self._emit(
+            "begin", txn=txn_key(ctx), client=ctx.client_id, start_ts=ctx.start_ts
+        )
+
+    def note_read(
+        self,
+        ctx: TxnContext,
+        table: str,
+        row: str,
+        column: str,
+        issued_at: float,
+        version: Optional[int],
+        value: Any,
+        own: bool,
+    ) -> None:
+        """One point read returned: ``version`` is None on a miss or when
+        the value came from the transaction's own buffer (``own``)."""
+        self._emit(
+            "read",
+            txn=txn_key(ctx),
+            client=ctx.client_id,
+            table=table,
+            row=row,
+            column=column,
+            start_ts=ctx.start_ts,
+            t0=round(issued_at, 9),
+            version=version,
+            value=value,
+            own=own,
+        )
+
+    def note_scan(
+        self,
+        ctx: TxnContext,
+        table: str,
+        start_row: str,
+        end_row: Optional[str],
+        column: str,
+        issued_at: float,
+        rows: List[list],
+    ) -> None:
+        """One scan returned; ``rows`` is ``[[row, version, value, own]]``
+        (version None for rows overlaid from the transaction's buffer)."""
+        self._emit(
+            "scan",
+            txn=txn_key(ctx),
+            client=ctx.client_id,
+            table=table,
+            start_row=start_row,
+            end_row=end_row,
+            column=column,
+            start_ts=ctx.start_ts,
+            t0=round(issued_at, 9),
+            rows=rows,
+        )
+
+    def note_write(
+        self, ctx: TxnContext, table: str, row: str, column: str, value: Any
+    ) -> None:
+        """A write (or delete: ``value`` None) was buffered."""
+        self._emit(
+            "write",
+            txn=txn_key(ctx),
+            client=ctx.client_id,
+            table=table,
+            row=row,
+            column=column,
+            value=value,
+        )
+
+    def note_commit_attempt(self, ctx: TxnContext, writes: List[tuple]) -> None:
+        """The commit request (with its certified write-set) hit the wire."""
+        self._emit(
+            "commit_attempt",
+            txn=txn_key(ctx),
+            client=ctx.client_id,
+            start_ts=ctx.start_ts,
+            writes=[list(w) for w in writes],
+        )
+
+    def note_commit(self, ctx: TxnContext, read_only: bool = False) -> None:
+        """The commit was acknowledged to the application."""
+        self._emit(
+            "commit",
+            txn=txn_key(ctx),
+            client=ctx.client_id,
+            start_ts=ctx.start_ts,
+            commit_ts=ctx.commit_ts,
+            read_only=read_only,
+        )
+
+    def note_abort(self, ctx: TxnContext, reason: Optional[str]) -> None:
+        """The transaction aborted (application abort or certification)."""
+        self._emit(
+            "abort",
+            txn=txn_key(ctx),
+            client=ctx.client_id,
+            start_ts=ctx.start_ts,
+            reason=reason,
+        )
+
+    def note_state(self, ctx: TxnContext, state: str) -> None:
+        """Context state-machine hook: records flush completions.
+
+        Wired through :meth:`TxnContext.transition`, so the asynchronous
+        post-commit flush (which completes long after ``commit`` returned)
+        is captured without instrumenting the flush path itself.
+        """
+        if state == FLUSHED:
+            self._emit(
+                "flushed",
+                txn=txn_key(ctx),
+                client=ctx.client_id,
+                commit_ts=ctx.commit_ts,
+            )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self, **meta: Any) -> str:
+        """Canonical JSON for the whole history (byte-stable per seed)."""
+        doc = {"format": FORMAT_VERSION, "events": self.events}
+        doc.update(meta)
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+    def write(self, path: str, **meta: Any) -> None:
+        """Write the history file (one canonical-JSON document)."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json(**meta) + "\n")
+
+    def metrics(self) -> dict:
+        """Uniform registry snapshot for the recorder."""
+        return self.registry.snapshot()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def load_history(path: str) -> List[dict]:
+    """Load a history file written by :meth:`HistoryRecorder.write`."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported history format {doc.get('format')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return doc["events"]

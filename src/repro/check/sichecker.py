@@ -1,0 +1,488 @@
+"""Offline snapshot-isolation checker over a recorded history.
+
+Rebuilds the version order from commit timestamps (the store is
+multi-versioned by commit timestamp, the property the paper leans on for
+idempotent replay) and audits every recorded read, scan, and commit
+against the transactional contract:
+
+* **non_snapshot_read** -- a read returned a version newer than the
+  transaction's snapshot timestamp (the store's ``max_version`` bound,
+  and SI's "no reads from the future", was violated);
+* **stale_read** -- a read missed a committed version that was inside
+  its snapshot *and* whose write-set flush had completed before the read
+  was issued.  Under the paper's deferred-update commit ("latest"
+  snapshot visibility) a snapshot may legitimately miss a
+  committed-but-unflushed write-set, so staleness is an anomaly only
+  once the newer version was observably in the store;
+* **aborted_read** -- a read returned a value only ever written by a
+  transaction the history records as aborted (aborted write-sets must
+  never reach the store: they are neither logged nor flushed);
+* **phantom_version** -- a read returned a version/value no recorded
+  transaction produced (corruption, or a replay inventing data);
+* **value_mismatch** -- the version exists but the durable value differs
+  from what the TM certified (write-set divergence);
+* **lost_update** -- two committed transactions with overlapping
+  execution intervals both wrote the same key: first-committer-wins
+  certification (Algorithm: the TM's SI certifier) failed;
+* **own_read_mismatch** -- read-your-own-writes returned something other
+  than the transaction's latest buffered write;
+* **duplicate_commit_ts** / **commit_order** -- commit-timestamp
+  uniqueness and ``start_ts < commit_ts`` sanity;
+* **inconsistent_replay** -- reads attribute the same unacknowledged
+  transaction (client crashed before learning the verdict; Algorithm 2
+  replays it) to two different commit timestamps, i.e. a non-idempotent
+  replay materialized the write-set twice.
+
+The checker is pure: same history in, byte-identical report out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+Key = Tuple[str, str, str]  # (table, row, column)
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detected violation of the transactional contract."""
+
+    kind: str
+    txn: str  # the observing (or offending) transaction key
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} [{self.txn}]: {self.detail}"
+
+
+@dataclass
+class CheckReport:
+    """Everything one checker pass produced; equality is bit-for-bit."""
+
+    anomalies: List[Anomaly] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the history upheld the transactional contract."""
+        return not self.anomalies
+
+    def summary(self) -> str:
+        """One line for sweep output."""
+        c = self.counters
+        return (
+            f"checked {c.get('txns', 0)} txns "
+            f"({c.get('committed', 0)} committed, {c.get('aborted', 0)} aborted, "
+            f"{c.get('unacked', 0)} unacked), {c.get('reads_checked', 0)} reads: "
+            f"{len(self.anomalies)} anomalies"
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys), byte-stable for a given history."""
+        import json
+
+        doc = {
+            "ok": self.ok,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "anomalies": [
+                {"kind": a.kind, "txn": a.txn, "detail": a.detail}
+                for a in self.anomalies
+            ],
+        }
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+class _Txn:
+    """Per-transaction view assembled from the event stream."""
+
+    __slots__ = (
+        "key", "client", "start_ts", "writes", "attempt", "commit_ts",
+        "read_only", "aborted", "flush_time", "own_values",
+    )
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.client: Optional[str] = None
+        self.start_ts: Optional[int] = None
+        self.writes: List[dict] = []  # write events, in order
+        self.attempt: Optional[dict] = None
+        self.commit_ts: Optional[int] = None
+        self.read_only = False
+        self.aborted = False
+        self.flush_time: Optional[float] = None
+        #: (table, row, column) -> latest buffered value (for own-reads).
+        self.own_values: Dict[Key, Any] = {}
+
+    @property
+    def committed(self) -> bool:
+        return self.commit_ts is not None and not self.aborted
+
+    @property
+    def unacked(self) -> bool:
+        return (
+            self.attempt is not None
+            and self.commit_ts is None
+            and not self.aborted
+        )
+
+
+class SIChecker:
+    """Offline consistency oracle over one recorded history.
+
+    ``initial_value`` (optional) validates reads of the preloaded
+    dataset: a callable ``(table, row, column) -> value`` returning the
+    expected version-0 value, or None if the row was not preloaded.
+    Without it, any version-0 read is accepted as initial data.
+    """
+
+    INITIAL_VERSION = 0
+
+    def __init__(
+        self,
+        events: List[dict],
+        initial_value: Optional[Callable[[str, str, str], Any]] = None,
+    ) -> None:
+        self.events = events
+        self.initial_value = initial_value
+
+    # ------------------------------------------------------------------
+    # the pass
+    # ------------------------------------------------------------------
+    def check(self) -> CheckReport:
+        """Run every check; returns the (deterministic) report."""
+        report = CheckReport()
+        txns = self._assemble(report)
+        versions, flush_times = self._build_version_order(txns, report)
+        aborted_values, unacked_values = self._index_uncommitted(txns)
+        bindings: Dict[str, int] = {}  # unacked txn -> inferred commit ts
+
+        reads_checked = 0
+        scan_rows = 0
+        for ev in self.events:
+            if ev["e"] == "write":
+                # Replay the write buffer in stream order so own-reads
+                # below see the value that was buffered *when they ran*.
+                txn = txns.get(ev["txn"])
+                if txn is not None:
+                    key = (ev["table"], ev["row"], ev["column"])
+                    txn.own_values[key] = ev["value"]
+            elif ev["e"] == "read":
+                reads_checked += 1
+                self._check_read(
+                    ev["txn"], txns, ev["table"], ev["row"], ev["column"],
+                    ev["start_ts"], ev.get("t0", ev["t"]), ev["version"],
+                    ev["value"], ev["own"], versions, flush_times,
+                    aborted_values, unacked_values, bindings, report,
+                )
+            elif ev["e"] == "scan":
+                for row_entry in ev["rows"]:
+                    row, version, value, own = row_entry
+                    scan_rows += 1
+                    self._check_read(
+                        ev["txn"], txns, ev["table"], row, ev["column"],
+                        ev["start_ts"], ev.get("t0", ev["t"]), version,
+                        value, own, versions, flush_times,
+                        aborted_values, unacked_values, bindings, report,
+                        where="scan",
+                    )
+
+        self._check_lost_updates(txns, bindings, report)
+
+        report.counters = {
+            "events": len(self.events),
+            "txns": len(txns),
+            "committed": sum(1 for t in txns.values() if t.committed),
+            "aborted": sum(1 for t in txns.values() if t.aborted),
+            "unacked": sum(1 for t in txns.values() if t.unacked),
+            "bound_unacked": len(bindings),
+            "reads_checked": reads_checked,
+            "scan_rows_checked": scan_rows,
+            "versions": sum(len(v) for v in versions.values()),
+            "anomalies": len(report.anomalies),
+        }
+        return report
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def _assemble(self, report: CheckReport) -> Dict[str, _Txn]:
+        txns: Dict[str, _Txn] = {}
+
+        def get(key: str) -> _Txn:
+            txn = txns.get(key)
+            if txn is None:
+                txn = txns[key] = _Txn(key)
+            return txn
+
+        for ev in self.events:
+            kind = ev["e"]
+            if kind in ("read",):
+                continue  # validated in the read pass
+            txn = get(ev["txn"])
+            if kind == "begin":
+                txn.client = ev["client"]
+                txn.start_ts = ev["start_ts"]
+            elif kind == "write":
+                # own_values is populated in stream order by the read pass,
+                # not here: an own-read must be judged against the buffer as
+                # of the read's position, not the transaction's final state.
+                txn.writes.append(ev)
+            elif kind == "commit_attempt":
+                txn.attempt = ev
+            elif kind == "commit":
+                txn.commit_ts = ev["commit_ts"]
+                txn.read_only = bool(ev.get("read_only"))
+                if txn.start_ts is None:
+                    txn.start_ts = ev["start_ts"]
+            elif kind == "abort":
+                txn.aborted = True
+            elif kind == "flushed":
+                txn.flush_time = ev["t"]
+            elif kind == "scan":
+                continue
+        return txns
+
+    def _build_version_order(
+        self, txns: Dict[str, _Txn], report: CheckReport
+    ) -> Tuple[Dict[Key, Dict[int, Tuple[Any, str]]], Dict[int, float]]:
+        """Version map (key -> commit_ts -> (value, txn)) + flush times."""
+        versions: Dict[Key, Dict[int, Tuple[Any, str]]] = {}
+        flush_times: Dict[int, float] = {}
+        seen_ts: Dict[int, str] = {}
+        for key in sorted(txns):
+            txn = txns[key]
+            if not txn.committed or txn.read_only:
+                continue
+            ts = txn.commit_ts
+            if txn.start_ts is not None and ts <= txn.start_ts:
+                report.anomalies.append(Anomaly(
+                    "commit_order", key,
+                    f"commit_ts {ts} <= start_ts {txn.start_ts}",
+                ))
+            prev = seen_ts.get(ts)
+            if prev is not None:
+                report.anomalies.append(Anomaly(
+                    "duplicate_commit_ts", key,
+                    f"commit_ts {ts} already used by {prev}",
+                ))
+            seen_ts[ts] = key
+            if txn.flush_time is not None:
+                flush_times[ts] = txn.flush_time
+            for table, row, column, value in self._certified_writes(txn):
+                versions.setdefault((table, row, column), {})[ts] = (value, key)
+        return versions, flush_times
+
+    @staticmethod
+    def _certified_writes(txn: _Txn) -> List[tuple]:
+        """The write-set the TM certified (falls back to buffered writes)."""
+        if txn.attempt is not None:
+            return [tuple(w) for w in txn.attempt["writes"]]
+        return [
+            (ev["table"], ev["row"], ev["column"], ev["value"])
+            for ev in txn.writes
+        ]
+
+    def _index_uncommitted(
+        self, txns: Dict[str, _Txn]
+    ) -> Tuple[Dict[Key, Dict[str, List[str]]], Dict[Key, Dict[str, List[str]]]]:
+        """Value indexes for aborted and unacknowledged write-sets.
+
+        Values are compared as ``repr`` strings so histories loaded back
+        from JSON behave identically to in-memory ones.
+        """
+        aborted: Dict[Key, Dict[str, List[str]]] = {}
+        unacked: Dict[Key, Dict[str, List[str]]] = {}
+        for key in sorted(txns):
+            txn = txns[key]
+            if txn.aborted:
+                target = aborted
+            elif txn.unacked:
+                target = unacked
+            else:
+                continue
+            for table, row, column, value in self._certified_writes(txn):
+                bucket = target.setdefault((table, row, column), {})
+                bucket.setdefault(_vkey(value), []).append(key)
+        return aborted, unacked
+
+    # ------------------------------------------------------------------
+    # read validation
+    # ------------------------------------------------------------------
+    def _check_read(
+        self,
+        txn_key: str,
+        txns: Dict[str, _Txn],
+        table: str,
+        row: str,
+        column: str,
+        start_ts: int,
+        issued_at: float,
+        version: Optional[int],
+        value: Any,
+        own: bool,
+        versions: Dict[Key, Dict[int, Tuple[Any, str]]],
+        flush_times: Dict[int, float],
+        aborted_values: Dict[Key, Dict[str, List[str]]],
+        unacked_values: Dict[Key, Dict[str, List[str]]],
+        bindings: Dict[str, int],
+        report: CheckReport,
+        where: str = "read",
+    ) -> None:
+        key = (table, row, column)
+        loc = f"{table}/{row}/{column}"
+        if own:
+            txn = txns.get(txn_key)
+            expected = txn.own_values.get(key) if txn is not None else None
+            if txn is None or _vkey(expected) != _vkey(value):
+                report.anomalies.append(Anomaly(
+                    "own_read_mismatch", txn_key,
+                    f"{where} of {loc} returned {value!r}, "
+                    f"buffered write was {expected!r}",
+                ))
+            return
+
+        if version is not None and version > start_ts:
+            report.anomalies.append(Anomaly(
+                "non_snapshot_read", txn_key,
+                f"{where} of {loc} returned version {version} > "
+                f"snapshot {start_ts}",
+            ))
+            return
+
+        if version is not None:
+            self._check_version_value(
+                txn_key, key, loc, version, value, versions, aborted_values,
+                unacked_values, bindings, report, where,
+            )
+
+        # Staleness: the newest committed version inside the snapshot
+        # whose flush had completed before the read was issued must not
+        # be newer than what the read returned.
+        visible = versions.get(key, {})
+        newest_flushed = None
+        for ts in visible:
+            if ts > start_ts:
+                continue
+            flushed_at = flush_times.get(ts)
+            if flushed_at is None or flushed_at > issued_at:
+                continue  # not observably in the store yet
+            if newest_flushed is None or ts > newest_flushed:
+                newest_flushed = ts
+        returned = version if version is not None else self.INITIAL_VERSION - 1
+        if newest_flushed is not None and newest_flushed > returned:
+            missed_value, missed_txn = visible[newest_flushed]
+            if version is None and missed_value is None:
+                return  # a miss correctly reflecting a flushed delete
+            report.anomalies.append(Anomaly(
+                "stale_read", txn_key,
+                f"{where} of {loc} at snapshot {start_ts} returned "
+                f"version {version} but {missed_txn} committed "
+                f"{newest_flushed} (flushed before the read)",
+            ))
+
+    def _check_version_value(
+        self,
+        txn_key: str,
+        key: Key,
+        loc: str,
+        version: int,
+        value: Any,
+        versions: Dict[Key, Dict[int, Tuple[Any, str]]],
+        aborted_values: Dict[Key, Dict[str, List[str]]],
+        unacked_values: Dict[Key, Dict[str, List[str]]],
+        bindings: Dict[str, int],
+        report: CheckReport,
+        where: str,
+    ) -> None:
+        known = versions.get(key, {}).get(version)
+        if known is not None:
+            expected, writer = known
+            if _vkey(expected) != _vkey(value):
+                report.anomalies.append(Anomaly(
+                    "value_mismatch", txn_key,
+                    f"{where} of {loc}@{version} returned {value!r}, "
+                    f"{writer} certified {expected!r}",
+                ))
+            return
+        if version == self.INITIAL_VERSION:
+            if self.initial_value is not None:
+                expected = self.initial_value(*key)
+                if _vkey(expected) != _vkey(value):
+                    report.anomalies.append(Anomaly(
+                        "value_mismatch", txn_key,
+                        f"{where} of {loc}@{version} returned {value!r}, "
+                        f"preload holds {expected!r}",
+                    ))
+            return
+        # Unknown version: an unacknowledged transaction the recovery
+        # manager replayed (the client never learned its commit ts)?
+        candidates = unacked_values.get(key, {}).get(_vkey(value), [])
+        if len(candidates) == 1:
+            unacked_txn = candidates[0]
+            bound = bindings.get(unacked_txn)
+            if bound is None:
+                bindings[unacked_txn] = version
+            elif bound != version:
+                report.anomalies.append(Anomaly(
+                    "inconsistent_replay", unacked_txn,
+                    f"unacked write-set observed at both commit ts "
+                    f"{bound} and {version} (via {where} of {loc})",
+                ))
+            return
+        if candidates:
+            return  # several unacked candidates: plausibly replayed
+        aborted_writers = aborted_values.get(key, {}).get(_vkey(value), [])
+        if aborted_writers:
+            report.anomalies.append(Anomaly(
+                "aborted_read", txn_key,
+                f"{where} of {loc}@{version} returned {value!r}, only "
+                f"ever written by aborted {aborted_writers[0]}",
+            ))
+            return
+        report.anomalies.append(Anomaly(
+            "phantom_version", txn_key,
+            f"{where} of {loc}@{version} returned {value!r}: no recorded "
+            f"transaction produced this version",
+        ))
+
+    # ------------------------------------------------------------------
+    # write-write certification audit
+    # ------------------------------------------------------------------
+    def _check_lost_updates(
+        self, txns: Dict[str, _Txn], bindings: Dict[str, int], report: CheckReport
+    ) -> None:
+        """First-committer-wins: committed writers of one key must not have
+        overlapping [start_ts, commit_ts] execution intervals."""
+        writers: Dict[Key, List[Tuple[int, int, str]]] = {}
+        for key in sorted(txns):
+            txn = txns[key]
+            ts = txn.commit_ts
+            if ts is None and key in bindings:
+                ts = bindings[key]  # replayed unacked txn, inferred ts
+            if ts is None or txn.aborted or txn.read_only:
+                continue
+            if txn.start_ts is None:
+                continue
+            for wkey in {
+                (w[0], w[1], w[2]) for w in self._certified_writes(txn)
+            }:
+                writers.setdefault(wkey, []).append((ts, txn.start_ts, key))
+        for wkey in sorted(writers):
+            entries = sorted(writers[wkey])
+            for (c1, _s1, t1), (c2, s2, t2) in zip(entries, entries[1:]):
+                if s2 < c1 and t1 != t2:
+                    report.anomalies.append(Anomaly(
+                        "lost_update", t2,
+                        f"{t2} [start {s2}, commit {c2}] and {t1} "
+                        f"[commit {c1}] both wrote "
+                        f"{wkey[0]}/{wkey[1]}/{wkey[2]} with overlapping "
+                        f"intervals",
+                    ))
+
+
+def _vkey(value: Any) -> str:
+    """Comparison key tolerant of JSON round-trips (tuples become lists)."""
+    if isinstance(value, (list, tuple)):
+        return repr([_vkey(v) for v in value])
+    return repr(value)

@@ -1,12 +1,13 @@
 """Command-line interface: run the simulated system from a terminal.
 
-Four subcommands cover the common exploration paths without writing any
+Five subcommands cover the common exploration paths without writing any
 code::
 
     python -m repro demo                         # commit, crash, recover
     python -m repro workload --mix A --tps 200   # run a YCSB mix
     python -m repro failover --crash-at 40       # Figure-3-style timeline
     python -m repro chaos --seeds 8              # seed-swept fault storms
+    python -m repro check history.json           # re-check a saved history
 
 Every run prints its configuration and a deterministic seed, so anything
 seen here can be reproduced exactly.
@@ -127,6 +128,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
 def cmd_workload(args: argparse.Namespace) -> int:
     """Run a workload mix and print the summary."""
     cluster = _build(args)
+    recorder = None
+    if args.check or args.history_json:
+        recorder = cluster.attach_history_recorder()
     driver = WorkloadDriver(cluster, mix=None if args.mix == "paper" else args.mix)
     print(
         f"running workload {args.mix!r} for {args.duration:.0f}s "
@@ -143,7 +147,34 @@ def cmd_workload(args: argparse.Namespace) -> int:
         title="workload summary",
     ))
     _emit_metrics(cluster, args.metrics_json)
-    return 0
+    rc = 0
+    if recorder is not None:
+        if args.history_json:
+            recorder.write(args.history_json, seed=args.seed, mix=args.mix)
+            print(f"wrote {len(recorder)} history events to {args.history_json}")
+        if args.check:
+            from repro.check import SIChecker
+
+            report = SIChecker(recorder.events).check()
+            print(f"oracle: {report.summary()}")
+            for anomaly in report.anomalies:
+                print(f"  anomaly: {anomaly}")
+            if not report.ok:
+                rc = 1
+    return rc
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Re-run the consistency oracle over a saved history file."""
+    from repro.check import SIChecker, load_history
+
+    events = load_history(args.history)
+    print(f"loaded {len(events)} events from {args.history}")
+    report = SIChecker(events).check()
+    print(report.summary())
+    for anomaly in report.anomalies:
+        print(f"  anomaly: {anomaly}")
+    return 0 if report.ok else 1
 
 
 def cmd_failover(args: argparse.Namespace) -> int:
@@ -194,11 +225,20 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         f"spikes, partitions, machine and client crashes"
         + (", disk faults" if args.disk_faults else "")
     )
+    if args.history_dir:
+        import os
+
+        os.makedirs(args.history_dir, exist_ok=True)
     failed = []
     reports = []
     for seed in seeds:
+        history_path = (
+            f"{args.history_dir}/history-{seed}.json"
+            if args.history_dir else None
+        )
         report = run_chaos(
-            seed, settings=settings, progress=print if args.trace else None
+            seed, settings=settings, history_path=history_path,
+            progress=print if args.trace else None,
         )
         reports.append(report)
         print(report.summary())
@@ -267,6 +307,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the metrics snapshot (registries, span "
                                "summaries, commit breakdown) as JSON; '-' for "
                                "stdout")
+    workload.add_argument("--check", action="store_true",
+                          help="record the operation history and run the "
+                               "snapshot-isolation checker on it afterwards")
+    workload.add_argument("--history-json", metavar="PATH", default=None,
+                          help="write the recorded operation history as "
+                               "canonical JSON (implies recording)")
     workload.set_defaults(func=cmd_workload)
 
     failover = sub.add_parser("failover", help="server-failure timeline")
@@ -291,7 +337,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "fsyncs, latent corruption, torn writes)")
     chaos.add_argument("--json", metavar="PATH", default=None,
                        help="write the full sweep report as JSON")
+    chaos.add_argument("--history-dir", metavar="DIR", default=None,
+                       help="write each seed's recorded operation history "
+                            "as DIR/history-<seed>.json")
     chaos.set_defaults(func=cmd_chaos)
+
+    check = sub.add_parser(
+        "check", help="re-run the consistency oracle on a saved history"
+    )
+    check.add_argument("history", metavar="HISTORY_JSON",
+                       help="history file written by 'workload "
+                            "--history-json' or 'chaos --history-dir'")
+    check.set_defaults(func=cmd_check)
 
     return parser
 

@@ -145,6 +145,10 @@ class SimCluster:
         self._observer_zk = ZkClient(self.observer)
         self.clients: List[ClientHandle] = []
         self._started = False
+        #: Consistency-oracle hooks (see :mod:`repro.check`); attached via
+        #: :meth:`attach_history_recorder` / :meth:`attach_invariant_monitor`.
+        self.history_recorder = None
+        self.invariant_monitor = None
         #: Interval of the periodic metrics scrape (simulated seconds);
         #: set to 0 before :meth:`start` to disable the scraper.
         self.scrape_interval = 1.0
@@ -266,6 +270,8 @@ class SimCluster:
         txn = TxnClient(
             node, kv, client_id=addr, durability=durability, tracker=agent
         )
+        if self.history_recorder is not None:
+            self.history_recorder.attach(txn)
         handle = ClientHandle(node=node, kv=kv, txn=txn, agent=agent)
         self.clients.append(handle)
         return handle
@@ -426,6 +432,37 @@ class SimCluster:
         return self.rm
 
     # ------------------------------------------------------------------
+    # consistency oracle
+    # ------------------------------------------------------------------
+    def attach_history_recorder(self):
+        """Attach a :class:`~repro.check.history.HistoryRecorder`.
+
+        Existing and future transactional clients start recording; returns
+        the recorder (also kept as :attr:`history_recorder`).
+        """
+        from repro.check import HistoryRecorder
+
+        recorder = HistoryRecorder(self.kernel)
+        for handle in self.clients:
+            recorder.attach(handle.txn)
+        self.history_recorder = recorder
+        return recorder
+
+    def attach_invariant_monitor(self, interval: float = 0.25):
+        """Attach (and start) an online threshold-invariant monitor.
+
+        Samples the live T_F/T_P state every ``interval`` simulated
+        seconds on the observer node; returns the monitor (also kept as
+        :attr:`invariant_monitor`).
+        """
+        from repro.check import InvariantMonitor
+
+        monitor = InvariantMonitor(self, interval=interval)
+        monitor.start()
+        self.invariant_monitor = monitor
+        return monitor
+
+    # ------------------------------------------------------------------
     # metrics
     # ------------------------------------------------------------------
     #: Client-side commit stages: their per-transaction durations sum to
@@ -470,6 +507,10 @@ class SimCluster:
         for handle in self.clients:
             fold(handle.txn.metrics())
             fold(handle.kv.metrics())
+        if self.history_recorder is not None:
+            fold(self.history_recorder.metrics())
+        if self.invariant_monitor is not None:
+            fold(self.invariant_monitor.metrics())
         stages = tracer_for(self.kernel).stage_summary()
         return {
             "time": round(self.kernel.now, 9),

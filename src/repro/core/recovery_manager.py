@@ -259,6 +259,12 @@ class RecoveryManager(ZkWatcherMixin, Node):
             entry = self.clients.get(client_id)
             if entry is None:
                 self.clients[client_id] = _Tracked(data["tf"], data["t"])
+                # A brand-new registration can reuse a fenced id (drivers
+                # re-create dead clients under the same name).  The old
+                # incarnation's entry blocked this path until its recovery
+                # completed, so the fence has served its purpose -- lift it
+                # or the newcomer could never commit.
+                self.cast(self.tm_addr, "unfence_client", client_id=client_id)
             elif entry.status == LIVE:
                 entry.threshold = max(entry.threshold, data["tf"])
                 entry.heartbeat_time = max(entry.heartbeat_time, data["t"])
@@ -352,6 +358,21 @@ class RecoveryManager(ZkWatcherMixin, Node):
     def _recover_client(self, client_id: str):
         entry = self.clients[client_id]
         span = self._tracer.begin("recovery.client_replay", client=client_id)
+        # Fence before fetching: failure detection is by missed heartbeats,
+        # so the "dead" client may still be running for a moment -- long
+        # enough to commit once more *after* our log fetch, an acked
+        # write-set that neither the client (about to self-terminate) nor
+        # this replay would ever flush.  The fence makes the TM reject its
+        # further commits and returns only once in-flight ones decide, so
+        # the fetch below is complete by construction.
+        yield from self.call_with_retry(
+            self.tm_addr,
+            "fence_client",
+            policy=RECOVERY_FETCH_RETRY,
+            timeout=10.0,
+            retry_on=(RpcError,),
+            client_id=client_id,
+        )
         fetch_span = span.child("recovery.log_fetch", client=client_id)
         records = yield from self.call_with_retry(
             self.tm_addr,

@@ -48,6 +48,13 @@ class ServerRecoveryAgent:
         self.settings = settings or RecoverySettings()
         self.rm_addr = rm_addr
         self.tracker = PersistTracker(server.kernel)
+        #: Which server incarnation the tracker state belongs to.  Set by
+        #: :meth:`_start` once the recovered T_P is seeded; observers (the
+        #: invariant monitor) skip samples whose epoch does not match the
+        #: server's current incarnation -- the window between a restart and
+        #: the agent's re-seed, where the tracker still holds a past life's
+        #: numbers.
+        self.tracker_incarnation: Optional[int] = None
         self._hb_lock = Resource(server.kernel, capacity=1)
         self._running = False
         self.heartbeats_sent = 0
@@ -107,7 +114,12 @@ class ServerRecoveryAgent:
         except Exception:
             pass  # no global state yet
         self.tracker.tp = initial_tp
+        # The published global T_P is itself capped by a global T_F some
+        # server read earlier, so it is a sound last-seen seed: the
+        # T_P(s) <= last-read-T_F invariant holds from the first report.
+        self.tracker.last_tf_seen = initial_tp
         self.tracker.pending = 0
+        self.tracker_incarnation = self.server.incarnation
         try:
             yield from self.server.zk.create(
                 server_path(self.server.addr), data=self._payload()

@@ -38,6 +38,9 @@ class FlushTracker:
         self.lock = Resource(kernel, capacity=1)
         self.commits_tracked = 0
         self.flushes_tracked = 0
+        #: Times advance() would have moved T_F(c) backwards (must stay 0:
+        #: Algorithm 1 only ever advances in local commit order).
+        self.order_violations = 0
 
     def note_commit(self, commit_ts: int):
         """Algorithm 1, "On receiving commit timestamp T".  (Generator API:
@@ -60,10 +63,22 @@ class FlushTracker:
         """
         advanced = 0
         while self._fq and self._fq_flushed and self._fq[0] == self._fq_flushed[0]:
-            self.tf = heapq.heappop(self._fq)
+            retired = heapq.heappop(self._fq)
             heapq.heappop(self._fq_flushed)
+            if retired < self.tf:
+                self.order_violations += 1
+            self.tf = retired
             advanced += 1
         return advanced
+
+    @property
+    def pending_head(self) -> Optional[int]:
+        """The lowest unretired commit timestamp (None when drained).
+
+        Invariant fodder: T_F(c) < pending_head whenever a commit is in
+        flight, since T_F only advances past a timestamp by retiring it.
+        """
+        return self._fq[0] if self._fq else None
 
     @property
     def in_flight(self) -> int:
@@ -82,8 +97,18 @@ class FlushTracker:
 class PersistTracker:
     """Server-side T_P(s) bookkeeping (Algorithm 3)."""
 
-    def __init__(self, kernel: Kernel, initial_tp: int = 0) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        initial_tp: int = 0,
+        last_tf_seen: Optional[int] = None,
+    ) -> None:
         self.tp = initial_tp
+        #: The last global T_F this server read from the recovery manager
+        #: (Algorithm 3's invariant: T_P(s) never exceeds it).  A restarted
+        #: server seeds it with the recovered T_P, which by construction
+        #: was below some earlier global T_F.
+        self.last_tf_seen = initial_tp if last_tf_seen is None else last_tf_seen
         #: Lowest piggybacked T_P(failed) received since the last completed
         #: sync (responsibility inheritance); cleared once everything
         #: received is durable again.
@@ -115,6 +140,8 @@ class PersistTracker:
     def complete_sync(self, tf_global: int) -> None:
         """Everything received is durable: advance T_P to the global T_F."""
         self.pending = 0
+        if tf_global > self.last_tf_seen:
+            self.last_tf_seen = tf_global
         if tf_global > self.tp:
             self.tp = tf_global
 

@@ -30,6 +30,7 @@ from repro.config import DiskSettings
 from repro.errors import DiskWriteError, FileNotFound
 from repro.dfs.files import Record, StoredFile
 from repro.sim.disk import Disk
+from repro.sim.events import Interrupt
 from repro.sim.kernel import Kernel
 from repro.sim.network import Network
 from repro.sim.node import Node
@@ -262,6 +263,36 @@ class DataNode(Node):
                 replica.synced = len(replica.records)
             else:
                 del replica.records[replica.synced :]
+
+    def on_revive(self) -> None:
+        """Block report on reconnect, as a restarted HDFS datanode sends.
+
+        While this node was dark the namenode's replication monitor pruned
+        it from every closed file it replicated -- and may have restored
+        replication by cloning a *damaged* surviving copy.  Our synced
+        records are still on the platter, so the namenode must re-learn
+        these locations: a later salvaging read consults only listed
+        replicas, and ours may be the only intact one.
+        """
+        held = sorted(p for p, r in self._replicas.items() if r.records)
+        if held:
+            proc = self.spawn(self._report_blocks(held), name="block-report")
+            proc.defuse()
+
+    def _report_blocks(self, held: List[str]):
+        # Retried call, not a cast: losing the report mid-storm would
+        # leave the namenode blind to our replicas until the next restart.
+        while self.alive:
+            try:
+                yield self.call(
+                    self.namenode, "register_datanode", timeout=5.0,
+                    addr=self.addr, held=held,
+                )
+                return
+            except Interrupt:
+                return
+            except Exception:
+                yield self.sleep(1.0)
 
     # test/introspection helpers -- not part of the RPC surface
     def replica(self, path: str) -> Optional[StoredFile]:

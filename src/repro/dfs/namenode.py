@@ -40,10 +40,23 @@ class NameNode(Node):
     # ------------------------------------------------------------------
     # membership
     # ------------------------------------------------------------------
-    def rpc_register_datanode(self, sender: str, addr: str) -> bool:
-        """A datanode announces itself (called once at startup)."""
+    def rpc_register_datanode(
+        self, sender: str, addr: str, held: Optional[List[str]] = None
+    ) -> bool:
+        """A datanode announces itself, optionally with a block report.
+
+        ``held`` lists the paths whose replicas survived on the node's
+        disk across a restart.  The replication monitor below prunes
+        unreachable holders from closed files' metadata, so a returning
+        node must be re-added or its copies -- possibly the only intact
+        ones -- are never consulted again.
+        """
         if addr not in self._datanodes:
             self._datanodes.append(addr)
+        for path in held or []:
+            meta = self._files.get(path)
+            if meta is not None and addr not in meta.replicas:
+                meta.replicas.append(addr)
         return True
 
     def live_datanodes(self) -> List[str]:

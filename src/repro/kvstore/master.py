@@ -540,9 +540,9 @@ class Master(ZkWatcherMixin, Node):
         so a long recovery gate is ridden out across several attempts
         instead of one long timeout that would also be paid, uselessly, on
         a dead assignee.  Between attempts the target's ephemeral is
-        checked; if it is gone, the region is handed to another live
-        server -- the failover that spawned us is blocked behind this very
-        open, so nobody else can reassign it.
+        checked; if it is gone, the open gives up with the region still
+        assigned to the corpse, so the liveness loop's failover for *that*
+        death re-covers it.
         """
         for attempt in range(attempts):
             try:
@@ -564,7 +564,18 @@ class Master(ZkWatcherMixin, Node):
             except Exception:
                 continue  # coordination unreachable; retry the same target
             live = {path.rsplit("/", 1)[1] for path in children}
-            if server not in live and live:
-                server = sorted(live)[next(self._assign_cursor) % len(live)]
-                self.assignments[region] = server
+            if server not in live:
+                # The assignee vanished mid-open.  An open timeout is
+                # indistinguishable from a lost reply: the region may be
+                # online on the dead server and have taken writes since,
+                # so handing it straight to another live server would skip
+                # the dead assignee's failover -- no WAL split, no
+                # transactional replay, acknowledged commits silently
+                # lost.  Give up with the assignment still pointing at
+                # the corpse: the liveness loop fails that server over
+                # with this region in its affected set, and the
+                # recovered-edits files this failover produced persist
+                # under /recovered/<region>/ for any later open to
+                # replay.
+                return False
         return False

@@ -45,7 +45,17 @@ class ChaosSettings:
     n_writers: int = 3
     n_rows: int = 2_000
     writes_per_txn: int = 5
+    #: Snapshot reads per transaction (before the writes), so the SI
+    #: checker has real read events to audit, not a vacuous pass.
+    reads_per_txn: int = 2
     think_time: float = 0.05
+
+    # -- consistency oracle -----------------------------------------------
+    #: Record a full operation history and run the SI checker plus the
+    #: online threshold-invariant monitor; any anomaly fails the run.
+    oracle: bool = True
+    #: Invariant-monitor sampling interval (simulated seconds).
+    monitor_interval: float = 0.25
 
     # -- cluster shape ----------------------------------------------------
     n_servers: int = 3
@@ -134,6 +144,13 @@ class ChaosReport:
     conflicts: int = 0
     errors: int = 0
     violations: List[str] = field(default_factory=list)
+    #: Snapshot-isolation anomalies found by the offline checker over the
+    #: recorded history (empty on a correct run).
+    anomalies: List[str] = field(default_factory=list)
+    #: Threshold-invariant violations caught by the online monitor.
+    invariant_violations: List[str] = field(default_factory=list)
+    #: Oracle accounting: checker counters, history size, monitor samples.
+    oracle: dict = field(default_factory=dict)
     converged: bool = False
     global_tf: int = 0
     global_tp: int = 0
@@ -148,8 +165,15 @@ class ChaosReport:
 
     @property
     def ok(self) -> bool:
-        """The run upheld the guarantee and the middleware converged."""
-        return not self.violations and self.converged and self.acknowledged > 0
+        """The run upheld every checked guarantee and converged: durable
+        acked commits, zero SI anomalies, zero invariant violations."""
+        return (
+            not self.violations
+            and not self.anomalies
+            and not self.invariant_violations
+            and self.converged
+            and self.acknowledged > 0
+        )
 
     def summary(self) -> str:
         """One line for sweep output."""
@@ -158,6 +182,8 @@ class ChaosReport:
             f"seed {self.seed:>4}: {verdict}  "
             f"acked={self.acknowledged} conflicts={self.conflicts} "
             f"errors={self.errors} violations={len(self.violations)} "
+            f"anomalies={len(self.anomalies)} "
+            f"inv={len(self.invariant_violations)} "
             f"converged={self.converged} "
             f"lost={self.net.get('messages_lost', 0)} "
             f"dup={self.net.get('messages_duplicated', 0)} "
@@ -206,11 +232,16 @@ def run_chaos(
     seed: int,
     settings: Optional[ChaosSettings] = None,
     progress: Optional[Callable[[str], None]] = None,
+    history_path: Optional[str] = None,
 ) -> ChaosReport:
     """One full chaos run: storm, heal, converge, audit.
 
     Deterministic in ``(seed, settings)``; ``progress`` (if given) receives
-    the same trace lines the report collects, as they happen.
+    the same trace lines the report collects, as they happen.  With the
+    oracle enabled (the default) the run also records the full operation
+    history, checks it for snapshot-isolation anomalies, and monitors the
+    threshold invariants online; ``history_path`` (if given) saves the
+    history file for ``repro check`` replay.
     """
     from repro.workload.verify import CommitLedger
 
@@ -218,6 +249,9 @@ def run_chaos(
     cluster = build_chaos_cluster(seed, s)
     rng = cluster.kernel.rng.substream("chaos.harness")
     report = ChaosReport(seed=seed)
+    if s.oracle:
+        cluster.attach_history_recorder()
+        cluster.attach_invariant_monitor(interval=s.monitor_interval)
 
     def note(msg: str) -> None:
         line = f"{cluster.kernel.now:9.4f}  {msg}"
@@ -238,9 +272,17 @@ def run_chaos(
             while True:
                 counter += 1
                 rows = sorted(wrng.sample(range(s.n_rows), s.writes_per_txn))
+                reads = (
+                    sorted(wrng.sample(range(s.n_rows), s.reads_per_txn))
+                    if s.reads_per_txn
+                    else []
+                )
                 report.attempted += 1
+                ctx = None
                 try:
                     ctx = yield from handle.txn.begin()
+                    for i in reads:
+                        yield from handle.txn.read(ctx, TABLE, row_key(i))
                     for i in rows:
                         handle.txn.write(ctx, TABLE, row_key(i), f"{wid}.{counter}")
                     yield from handle.txn.commit(ctx)
@@ -248,6 +290,7 @@ def run_chaos(
                     raise
                 except TxnConflict:
                     report.conflicts += 1
+                    ledger.record_outcome(ctx)
                     continue
                 except Exception:
                     report.errors += 1  # not acknowledged: no guarantee
@@ -570,6 +613,36 @@ def run_chaos(
     report.net = cluster.net_stats()
     report.tm = cluster.tm_stats()
     report.storage = cluster.storage_stats()
+
+    # -- consistency oracle -----------------------------------------------
+    if s.oracle:
+        from repro.check import SIChecker
+
+        recorder = cluster.history_recorder
+        monitor = cluster.invariant_monitor
+        monitor.check_once()  # one final sample of the converged state
+        check = SIChecker(
+            recorder.events, initial_value=preload_value_fn(s.n_rows)
+        ).check()
+        report.anomalies = [str(a) for a in check.anomalies]
+        report.invariant_violations = [
+            f"{v['kind']} [{v['subject']}] at t={v['t']}: {v['detail']}"
+            for v in monitor.violations
+        ]
+        report.oracle = {
+            "checker": check.counters,
+            "history_events": len(recorder),
+            "monitor_samples": monitor.samples,
+            "ledger_outcomes": ledger.outcome_counts(),
+        }
+        if history_path is not None:
+            recorder.write(history_path, seed=seed)
+        note(
+            f"oracle: {len(recorder)} events, "
+            f"{len(report.anomalies)} anomalies, "
+            f"{len(report.invariant_violations)} invariant violations"
+        )
+
     report.metrics = cluster.metrics_snapshot()
     report.events = cluster.kernel.event_count
     note(
@@ -577,6 +650,22 @@ def run_chaos(
         f"{len(report.violations)} violations"
     )
     return report
+
+
+def preload_value_fn(n_rows: int):
+    """The expected version-0 value for the preloaded benchmark table
+    (``SimCluster.preload`` loads ``init-{i}`` for every row)."""
+
+    def initial_value(table: str, row: str, column: str):
+        if table != TABLE or column != "f" or not row.startswith("user"):
+            return None
+        try:
+            i = int(row[4:])
+        except ValueError:
+            return None
+        return f"init-{i}" if 0 <= i < n_rows else None
+
+    return initial_value
 
 
 def run_sweep(

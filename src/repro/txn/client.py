@@ -63,6 +63,9 @@ class TxnClient:
         self.retry_policy = retry_policy or DEFAULT_TM_RETRY
         #: Recovery-tracking hook (Algorithm 1); None disables tracking.
         self.tracker = tracker
+        #: History-recording hook (the consistency oracle); None disables
+        #: recording.  Set via ``HistoryRecorder.attach(client)``.
+        self.recorder = None
         self._local_ids = itertools.count(1)
         #: Registry behind all client statistics (see ``metrics()``).
         self.registry = MetricsRegistry("txn_client", self.client_id)
@@ -95,6 +98,9 @@ class TxnClient:
             start_ts=reply["start_ts"],
             client_id=self.client_id,
         )
+        if self.recorder is not None:
+            ctx.recorder = self.recorder
+            self.recorder.note_begin(ctx)
         span.txn = self._txn_key(ctx)
         span.end()
         return ctx
@@ -106,12 +112,21 @@ class TxnClient:
         write first (read-your-own-writes).
         """
         ctx.require_active()
+        issued_at = self.host.kernel.now
         if (table, row, column) in ctx.write_set:
-            return ctx.write_set.get(table, row, column)
+            value = ctx.write_set.get(table, row, column)
+            if self.recorder is not None:
+                self.recorder.note_read(
+                    ctx, table, row, column, issued_at, None, value, own=True
+                )
+            return value
         result = yield from self.kv.get(table, row, column, max_version=ctx.start_ts)
-        if result is None:
-            return None
-        return result[1]
+        version, value = (None, None) if result is None else result
+        if self.recorder is not None:
+            self.recorder.note_read(
+                ctx, table, row, column, issued_at, version, value, own=False
+            )
+        return value
 
     def scan(
         self,
@@ -130,11 +145,14 @@ class TxnClient:
         hide rows; writes to other columns are invisible here.
         """
         ctx.require_active()
+        issued_at = self.host.kernel.now
         cells = yield from self.kv.scan(
             table, start_row, end_row, max_version=ctx.start_ts, limit=limit
         )
         merged = {
-            row: value for row, col, _version, value in cells if col == column
+            row: (version, value, False)
+            for row, col, version, value in cells
+            if col == column
         }
         for (t, row, col), value in ctx.write_set.writes.items():
             if t != table or col != column or row < start_row:
@@ -144,24 +162,36 @@ class TxnClient:
             if value is None:
                 merged.pop(row, None)
             else:
-                merged[row] = value
-        return sorted(merged.items())[:limit]
+                merged[row] = (None, value, True)
+        result = sorted(merged.items())[:limit]
+        if self.recorder is not None:
+            self.recorder.note_scan(
+                ctx, table, start_row, end_row, column, issued_at,
+                rows=[[row, v, value, own] for row, (v, value, own) in result],
+            )
+        return [(row, value) for row, (_v, value, _own) in result]
 
     def write(self, ctx: TxnContext, table: str, row: str, value: Any, column: str = "f") -> None:
         """Buffer an insert/update (nothing reaches the store until commit)."""
         ctx.require_active()
         ctx.write_set.put(table, row, column, value)
+        if self.recorder is not None:
+            self.recorder.note_write(ctx, table, row, column, value)
 
     def delete(self, ctx: TxnContext, table: str, row: str, column: str = "f") -> None:
         """Buffer a delete."""
         ctx.require_active()
         ctx.write_set.delete(table, row, column)
+        if self.recorder is not None:
+            self.recorder.note_write(ctx, table, row, column, None)
 
     def abort(self, ctx: TxnContext):
         """Abort: discard the buffered write-set."""
         ctx.require_active()
         ctx.transition(ABORTED)
         ctx.abort_reason = "application abort"
+        if self.recorder is not None:
+            self.recorder.note_abort(ctx, ctx.abort_reason)
         self.stats["aborted"] += 1
         yield from self.host.call_with_retry(
             self.tm_addr, "abort", policy=self.retry_policy, timeout=10.0,
@@ -187,6 +217,10 @@ class TxnClient:
             (table, row, column, value)
             for (table, row, column), value in sorted(ctx.write_set.writes.items())
         ]
+        if self.recorder is not None:
+            # Recorded *before* the RPC: a transaction with an attempt but
+            # no verdict is "maybe committed" (the client-recovery case).
+            self.recorder.note_commit_attempt(ctx, writes)
         # Retried commits are safe: the TM's decision cache returns the
         # original verdict if our first request got through but the
         # response was lost (or the fabric duplicated the request).
@@ -205,6 +239,8 @@ class TxnClient:
         if reply["status"] == "aborted":
             ctx.transition(ABORTED)
             ctx.abort_reason = f"conflict on {reply.get('conflict_key')}"
+            if self.recorder is not None:
+                self.recorder.note_abort(ctx, ctx.abort_reason)
             self.stats["aborted"] += 1
             span.end(outcome="aborted")
             raise TxnConflict(ctx.txn_id, tuple(reply.get("conflict_key") or ()))
@@ -212,6 +248,8 @@ class TxnClient:
         ctx.commit_ts = reply["commit_ts"]
         if reply.get("read_only"):
             ctx.transition(COMMITTED)
+            if self.recorder is not None:
+                self.recorder.note_commit(ctx, read_only=True)
             self.stats["committed"] += 1
             self._end_commit_span(span, txn_key)
             return ctx
@@ -221,6 +259,8 @@ class TxnClient:
             # part of the commit path.
             yield from self._flush(ctx, parent=span)
             ctx.transition(COMMITTED)
+            if self.recorder is not None:
+                self.recorder.note_commit(ctx)
             ctx.transition(FLUSHED)
             self.host.cast(self.tm_addr, "flushed", commit_ts=ctx.commit_ts)
             self.stats["committed"] += 1
@@ -231,6 +271,8 @@ class TxnClient:
         if self.tracker is not None:
             yield from self.tracker.note_commit(ctx.commit_ts)
         ctx.transition(COMMITTED)
+        if self.recorder is not None:
+            self.recorder.note_commit(ctx)
         self.stats["committed"] += 1
         self._end_commit_span(span, txn_key)
         flush_proc = self.host.spawn(

@@ -44,6 +44,10 @@ class TxnContext:
     state: str = EXECUTING
     commit_ts: Optional[int] = None
     abort_reason: Optional[str] = None
+    #: Optional history recorder (see :mod:`repro.check.history`); set by
+    #: the client at begin so state transitions -- notably the
+    #: asynchronous post-commit flush -- reach the recorded history.
+    recorder: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def read_only(self) -> bool:
@@ -70,3 +74,5 @@ class TxnContext:
                 f"txn {self.txn_id}: illegal transition {self.state} -> {new_state}"
             )
         self.state = new_state
+        if self.recorder is not None:
+            self.recorder.note_state(self, new_state)

@@ -80,6 +80,14 @@ class TransactionManager(Node):
         self._visible_ts = 0
         self._unflushed: List[int] = []  # committed update txns, min-heap
         self._flushed_set: set = set()
+        # Client fencing (recovery-manager hardening of Algorithm 2): a
+        # suspected-dead client may still have one last commit racing the
+        # recovery manager's log fetch.  Once fenced, a client's further
+        # commits are rejected, and the fence call returns only after its
+        # in-flight commits drain -- so a post-fence log fetch sees every
+        # commit that will ever be acknowledged to that client.
+        self._fenced: set = set()
+        self._inflight_commits: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # transaction lifecycle
@@ -132,20 +140,40 @@ class TransactionManager(Node):
             self.stats["duplicate_commits"] += 1
             reply = yield gate
             return dict(reply)
+        if client_id in self._fenced:
+            # Fenced after being declared dead: nothing from this client
+            # may enter the log anymore, or the recovery replay that
+            # already fetched it would miss the record forever.  The
+            # verdict is cached so duplicates stay consistent.
+            self.stats["aborts"] += 1
+            self.registry.counter("fenced_commits").inc()
+            reply = {"status": "aborted", "conflict_key": None, "fenced": True}
+            self._decisions[key] = reply
+            return dict(reply)
         gate = self.kernel.event()
         self._deciding[key] = gate
+        self._inflight_commits[client_id] = (
+            self._inflight_commits.get(client_id, 0) + 1
+        )
         try:
-            reply = yield from self._decide_commit(
-                client_id, txn_id, start_ts, writes, log_commit
-            )
-        except Interrupt:
-            self._deciding.pop(key, None)
-            raise
-        except Exception as exc:
-            self._deciding.pop(key, None)
-            if not gate.triggered:
-                gate.fail(exc)
-            raise
+            try:
+                reply = yield from self._decide_commit(
+                    client_id, txn_id, start_ts, writes, log_commit
+                )
+            except Interrupt:
+                self._deciding.pop(key, None)
+                raise
+            except Exception as exc:
+                self._deciding.pop(key, None)
+                if not gate.triggered:
+                    gate.fail(exc)
+                raise
+        finally:
+            left = self._inflight_commits.get(client_id, 0) - 1
+            if left <= 0:
+                self._inflight_commits.pop(client_id, None)
+            else:
+                self._inflight_commits[client_id] = left
         self._deciding.pop(key, None)
         self._decisions[key] = reply
         while len(self._decisions) > self.settings.commit_cache_size:
@@ -231,6 +259,28 @@ class TransactionManager(Node):
     # ------------------------------------------------------------------
     # recovery-manager interface
     # ------------------------------------------------------------------
+    def rpc_fence_client(self, sender: str, client_id: str):
+        """Fence a suspected-dead client before its replay log fetch.
+
+        Sets the fence (further commits from ``client_id`` are rejected)
+        and returns only once the client's in-flight commits have
+        decided, closing the race where a final commit lands in the log
+        *after* the recovery manager fetched it -- acknowledged to a
+        client that then dies without flushing, hence lost.  Idempotent.
+        """
+        self._fenced.add(client_id)
+        self.registry.counter("fences").inc()
+        while self._inflight_commits.get(client_id, 0) > 0:
+            yield self.sleep(self.settings.op_service_time)
+        return True
+
+    def rpc_unfence_client(self, sender: str, client_id: str) -> bool:
+        """Lift a fence: the id re-registered as a brand-new client (the
+        old incarnation's recovery completed first, so the fence's job is
+        done).  Idempotent."""
+        self._fenced.discard(client_id)
+        return True
+
     def rpc_fetch_logs(
         self, sender: str, after_ts: int, client_id: Optional[str] = None
     ):

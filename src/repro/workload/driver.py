@@ -79,10 +79,15 @@ class WorkloadDriver:
         settings: Optional[WorkloadSettings] = None,
         n_client_nodes: int = 1,
         mix: Optional[str] = None,
+        ledger=None,
     ) -> None:
         """``mix`` selects a YCSB core workload (``"A"``..``"F"``); None
-        runs the paper's custom transaction type."""
+        runs the paper's custom transaction type.  ``ledger`` (an optional
+        :class:`~repro.workload.verify.CommitLedger`) records every
+        transaction outcome -- committed, aborted, read-only -- so driver
+        runs feed the same audit surface the chaos harness uses."""
         self.cluster = cluster
+        self.ledger = ledger
         self.settings = settings or cluster.config.workload
         if n_client_nodes < 1:
             raise ReproError("need at least one client machine")
@@ -209,6 +214,7 @@ class WorkloadDriver:
         kernel = self.cluster.kernel
         begin_at = kernel.now
         self._txn_counter += 1
+        ctx = None
         try:
             ctx = yield from handle.txn.begin()
             if self.mix is not None:
@@ -225,6 +231,8 @@ class WorkloadDriver:
         except TxnAborted:
             result.aborted += 1
             self.registry.counter("aborted").inc()
+            if self.ledger is not None and ctx is not None:
+                self.ledger.record_outcome(ctx)
             return
         except Interrupt:
             raise
@@ -232,6 +240,8 @@ class WorkloadDriver:
             result.failed += 1
             self.registry.counter("failed").inc()
             return
+        if self.ledger is not None:
+            self.ledger.record(ctx, TABLE)
         now = kernel.now
         elapsed = now - begin_at
         result.throughput_ts.record(now)

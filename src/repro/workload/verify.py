@@ -29,6 +29,26 @@ class AcknowledgedCommit:
     cells: Tuple[Tuple[str, str, Any], ...]  # (row, column, value)
 
 
+@dataclass(frozen=True)
+class RecordedTxn:
+    """One finished transaction of any outcome (the complete record).
+
+    ``outcome`` is ``"committed"``, ``"aborted"``, or ``"read_only"``
+    (a committed transaction that wrote nothing).  Acked *writers* also
+    land in :attr:`CommitLedger.commits` for the durability audit; this
+    record keeps the rest of the history -- aborts and read-only commits
+    -- so recorded histories are complete.
+    """
+
+    outcome: str
+    client_id: str
+    txn_id: int
+    start_ts: int
+    commit_ts: Optional[int] = None
+    abort_reason: Optional[str] = None
+    n_writes: int = 0
+
+
 @dataclass
 class Violation:
     """One acknowledged write that is not durably readable."""
@@ -49,12 +69,26 @@ class Violation:
 
 @dataclass
 class CommitLedger:
-    """Records acknowledged commits; audits them against the store."""
+    """Records finished transactions; audits acked commits against the store.
+
+    :attr:`commits` keeps acknowledged writers (the durability audit's
+    input, and the ledger's original surface -- ``len()`` still counts
+    only these); :attr:`outcomes` additionally keeps aborted and
+    read-only transactions, so the ledger is a complete account of what
+    the application observed.
+    """
 
     commits: List[AcknowledgedCommit] = field(default_factory=list)
+    outcomes: List[RecordedTxn] = field(default_factory=list)
 
     def record(self, ctx: TxnContext, table: str) -> None:
-        """Record one committed (acknowledged) transaction context."""
+        """Record one finished transaction context (any outcome).
+
+        Kept as the one entry point the old API had: committed writers
+        land in :attr:`commits` exactly as before, and every call now
+        also appends the full outcome record to :attr:`outcomes`.
+        """
+        self.record_outcome(ctx)
         if ctx.commit_ts is None or ctx.read_only:
             return
         cells = tuple(
@@ -70,6 +104,33 @@ class CommitLedger:
                 cells=cells,
             )
         )
+
+    def record_outcome(self, ctx: TxnContext) -> None:
+        """Record a transaction's outcome without auditing its cells."""
+        if ctx.commit_ts is None:
+            outcome = "aborted"
+        elif ctx.read_only:
+            outcome = "read_only"
+        else:
+            outcome = "committed"
+        self.outcomes.append(
+            RecordedTxn(
+                outcome=outcome,
+                client_id=ctx.client_id,
+                txn_id=ctx.txn_id,
+                start_ts=ctx.start_ts,
+                commit_ts=ctx.commit_ts,
+                abort_reason=ctx.abort_reason,
+                n_writes=len(ctx.write_set.writes),
+            )
+        )
+
+    def outcome_counts(self) -> dict:
+        """``{outcome: count}`` over everything recorded (sorted keys)."""
+        counts: dict = {}
+        for rec in self.outcomes:
+            counts[rec.outcome] = counts.get(rec.outcome, 0) + 1
+        return {k: counts[k] for k in sorted(counts)}
 
     def executed(self, cluster: SimCluster, txn_gen, table: str):
         """Run a commit-producing generator and record its context.

@@ -240,5 +240,16 @@ class ZkClient:
         self._watch_callbacks.setdefault(path, []).append(callback)
 
     def _dispatch_watch(self, path: str, event: str) -> None:
+        if event == "expired":
+            # Session-expiry notification from the service.  Only honour
+            # it for the *current* session: a stale cast for a previous
+            # session must not fence the fresh incarnation that replaced
+            # it.
+            if (
+                self.session_id is not None
+                and path == f"/zk/sessions/{self.session_id}"
+            ):
+                self._session_lost()
+            return
         for callback in self._watch_callbacks.get(path, []):
             callback(path, event)

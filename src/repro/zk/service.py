@@ -26,6 +26,10 @@ EVENT_CREATED = "created"
 EVENT_CHANGED = "changed"
 EVENT_DELETED = "deleted"
 EVENT_CHILD = "child"
+#: Session-expiry notification (the Expired event a real ZooKeeper client
+#: receives); delivered on the watch channel with this path prefix.
+EVENT_EXPIRED = "expired"
+SESSION_PATH_PREFIX = "/zk/sessions/"
 
 
 class ZkService(Node):
@@ -73,7 +77,7 @@ class ZkService(Node):
         """Clean session shutdown: ephemerals removed, no expiry alarm."""
         session = self._sessions.get(session_id)
         if session is not None and not session.expired:
-            self._expire(session)
+            self._expire(session, notify=False)
         return True
 
     def _expiry_loop(self):
@@ -84,11 +88,24 @@ class ZkService(Node):
                 if not session.expired and session.last_ping < deadline:
                     self._expire(session)
 
-    def _expire(self, session: Session) -> None:
+    def _expire(self, session: Session, notify: bool = True) -> None:
         session.expired = True
         for path in sorted(session.ephemerals):
             self._delete(path)
         self._sessions.pop(session.session_id, None)
+        if notify:
+            # Tell the owner immediately (real ZooKeeper's Expired event)
+            # rather than letting it find out on its next ping: a host
+            # whose liveness ephemeral just vanished is being failed over
+            # by the rest of the system, and every operation it serves
+            # until it self-fences is a zombie's.  Best-effort -- a lost
+            # notification falls back to ping discovery.
+            self.cast(
+                session.owner,
+                "watch_event",
+                path=f"{SESSION_PATH_PREFIX}{session.session_id}",
+                event=EVENT_EXPIRED,
+            )
 
     # ------------------------------------------------------------------
     # tree operations

@@ -1,0 +1,361 @@
+"""Fixture histories and states: every anomaly class must be detected.
+
+Each test hand-writes the smallest history (or threshold state) that
+exhibits one known violation and asserts the oracle flags exactly that
+class -- and that the corresponding clean variant passes.  This is the
+oracle's own regression suite: a checker that misses a seeded anomaly is
+worse than no checker, because it lends green sweeps false authority.
+"""
+
+import itertools
+
+from repro.check import SIChecker, evaluate_invariants
+
+T = "usertable"
+
+
+class H:
+    """Tiny history builder producing recorder-shaped event dicts."""
+
+    def __init__(self):
+        self.events = []
+        self._seq = itertools.count()
+
+    def _emit(self, e, **fields):
+        ev = {"e": e, "seq": next(self._seq), "t": float(fields.pop("at", 0.0))}
+        ev.update(fields)
+        self.events.append(ev)
+        return self
+
+    def begin(self, txn, start_ts, at=0.0):
+        return self._emit("begin", txn=txn, client=txn.split(":")[0],
+                          start_ts=start_ts, at=at)
+
+    def read(self, txn, start_ts, row, version, value, own=False,
+             at=1.0, col="f"):
+        return self._emit("read", txn=txn, client=txn.split(":")[0],
+                          table=T, row=row, column=col, start_ts=start_ts,
+                          t0=at, version=version, value=value, own=own, at=at)
+
+    def write(self, txn, row, value, at=0.5, col="f"):
+        return self._emit("write", txn=txn, client=txn.split(":")[0],
+                          table=T, row=row, column=col, value=value, at=at)
+
+    def attempt(self, txn, start_ts, writes, at=0.8):
+        return self._emit("commit_attempt", txn=txn,
+                          client=txn.split(":")[0], start_ts=start_ts,
+                          writes=[list(w) for w in writes], at=at)
+
+    def commit(self, txn, start_ts, commit_ts, read_only=False, at=1.0):
+        return self._emit("commit", txn=txn, client=txn.split(":")[0],
+                          start_ts=start_ts, commit_ts=commit_ts,
+                          read_only=read_only, at=at)
+
+    def abort(self, txn, start_ts, reason="conflict", at=1.0):
+        return self._emit("abort", txn=txn, client=txn.split(":")[0],
+                          start_ts=start_ts, reason=reason, at=at)
+
+    def flushed(self, txn, commit_ts, at=2.0):
+        return self._emit("flushed", txn=txn, client=txn.split(":")[0],
+                          commit_ts=commit_ts, at=at)
+
+    def committed_write(self, txn, start_ts, commit_ts, row, value,
+                        at=0.5, flush_at=None):
+        """begin / write / attempt / commit (/ flushed) in one call."""
+        self.begin(txn, start_ts, at=at)
+        self.write(txn, row, value, at=at)
+        self.attempt(txn, start_ts, [(T, row, "f", value)], at=at)
+        self.commit(txn, start_ts, commit_ts, at=at)
+        if flush_at is not None:
+            self.flushed(txn, commit_ts, at=flush_at)
+        return self
+
+
+def kinds(events):
+    return sorted({a.kind for a in SIChecker(events).check().anomalies})
+
+
+# ----------------------------------------------------------------------
+# SI checker fixtures
+# ----------------------------------------------------------------------
+def test_clean_history_passes():
+    h = H()
+    h.committed_write("w0:1", 0, 5, "r1", "a", flush_at=2.0)
+    h.begin("w1:1", 5, at=3.0).read("w1:1", 5, "r1", 5, "a", at=3.5)
+    h.commit("w1:1", 5, 8, read_only=True, at=4.0)
+    report = SIChecker(h.events).check()
+    assert report.ok, report.anomalies
+    assert report.counters["committed"] == 2
+    assert report.counters["reads_checked"] == 1
+
+
+def test_lost_update_detected():
+    h = H()
+    h.committed_write("w0:1", 0, 5, "r1", "a")
+    h.committed_write("w1:1", 3, 7, "r1", "b")  # started inside w0:1's interval
+    assert kinds(h.events) == ["lost_update"]
+
+
+def test_serial_writers_not_flagged():
+    h = H()
+    h.committed_write("w0:1", 0, 5, "r1", "a")
+    h.committed_write("w1:1", 5, 7, "r1", "b")  # began at w0:1's commit ts
+    assert kinds(h.events) == []
+
+
+def test_stale_read_detected():
+    h = H()
+    h.committed_write("w0:1", 0, 5, "r1", "a", flush_at=1.0)
+    # Snapshot 10 covers commit 5, flush finished at t=1, read issued at
+    # t=2 -- yet the read still returned the preloaded version 0.
+    h.begin("r:1", 10, at=1.5).read("r:1", 10, "r1", 0, "init", at=2.0)
+    assert kinds(h.events) == ["stale_read"]
+
+
+def test_unflushed_write_set_may_be_missed():
+    h = H()
+    h.committed_write("w0:1", 0, 5, "r1", "a")  # committed, never flushed
+    h.begin("r:1", 10, at=1.5).read("r:1", 10, "r1", 0, "init", at=2.0)
+    assert kinds(h.events) == []  # "latest" visibility: not yet observable
+
+
+def test_non_snapshot_read_detected():
+    h = H()
+    h.committed_write("w0:1", 0, 7, "r1", "a", flush_at=1.0)
+    h.begin("r:1", 3, at=1.5).read("r:1", 3, "r1", 7, "a", at=2.0)
+    assert kinds(h.events) == ["non_snapshot_read"]
+
+
+def test_aborted_read_detected():
+    h = H()
+    h.begin("w0:1", 0).write("w0:1", "r1", "dirty")
+    h.attempt("w0:1", 0, [(T, "r1", "f", "dirty")])
+    h.abort("w0:1", 0)
+    h.begin("r:1", 9, at=1.5).read("r:1", 9, "r1", 5, "dirty", at=2.0)
+    assert kinds(h.events) == ["aborted_read"]
+
+
+def test_value_mismatch_detected():
+    h = H()
+    h.committed_write("w0:1", 0, 5, "r1", "certified", flush_at=1.0)
+    h.begin("r:1", 9, at=1.5).read("r:1", 9, "r1", 5, "mangled", at=2.0)
+    assert kinds(h.events) == ["value_mismatch"]
+
+
+def test_initial_value_mismatch_detected():
+    h = H()
+    h.begin("r:1", 9).read("r:1", 9, "r1", 0, "wrong-init", at=1.0)
+    checker = SIChecker(
+        h.events, initial_value=lambda table, row, col: f"init-{row}"
+    )
+    assert [a.kind for a in checker.check().anomalies] == ["value_mismatch"]
+    # Without the preload oracle, version-0 reads are accepted as-is.
+    assert kinds(h.events) == []
+
+
+def test_phantom_version_detected():
+    h = H()
+    h.begin("r:1", 9).read("r:1", 9, "r1", 5, "from-nowhere", at=1.0)
+    assert kinds(h.events) == ["phantom_version"]
+
+
+def test_own_read_mismatch_detected():
+    h = H()
+    h.begin("w0:1", 0).write("w0:1", "r1", "mine")
+    h.read("w0:1", 0, "r1", None, "not-mine", own=True, at=0.6)
+    assert kinds(h.events) == ["own_read_mismatch"]
+
+
+def test_own_read_clean():
+    h = H()
+    h.begin("w0:1", 0).write("w0:1", "r1", "mine")
+    h.read("w0:1", 0, "r1", None, "mine", own=True, at=0.6)
+    assert kinds(h.events) == []
+
+
+def test_own_read_judged_at_stream_position():
+    # write v1, read it back, then overwrite: the read saw v1 and that is
+    # correct -- it must not be judged against the transaction's final
+    # buffer (a pattern every read-modify-write workload produces).
+    h = H()
+    h.begin("w0:1", 0).write("w0:1", "r1", "v1", at=0.2)
+    h.read("w0:1", 0, "r1", None, "v1", own=True, at=0.4)
+    h.write("w0:1", "r1", "v2", at=0.6)
+    assert kinds(h.events) == []
+
+
+def test_duplicate_commit_ts_detected():
+    h = H()
+    h.committed_write("w0:1", 0, 5, "r1", "a")
+    h.committed_write("w1:1", 4, 5, "r2", "b")  # same commit ts
+    assert "duplicate_commit_ts" in kinds(h.events)
+
+
+def test_commit_order_detected():
+    h = H()
+    h.committed_write("w0:1", 9, 5, "r1", "a")  # commit_ts <= start_ts
+    assert kinds(h.events) == ["commit_order"]
+
+
+def test_unacked_replay_binds_one_timestamp():
+    # Client crashed before learning the verdict; the RM replayed the
+    # write-set at one commit ts.  Observing it at that ts is fine ...
+    h = H()
+    h.begin("w0:1", 0).write("w0:1", "r1", "u").write("w0:1", "r2", "u")
+    h.attempt("w0:1", 0, [(T, "r1", "f", "u"), (T, "r2", "f", "u")])
+    h.begin("r:1", 9, at=2.0).read("r:1", 9, "r1", 6, "u", at=2.5)
+    h.begin("r:2", 9, at=3.0).read("r:2", 9, "r2", 6, "u", at=3.5)
+    assert kinds(h.events) == []
+
+
+def test_inconsistent_replay_detected():
+    # ... but observing the same unacked write-set at two *different*
+    # commit timestamps means replay was not idempotent (Algorithm 2).
+    h = H()
+    h.begin("w0:1", 0).write("w0:1", "r1", "u").write("w0:1", "r2", "u")
+    h.attempt("w0:1", 0, [(T, "r1", "f", "u"), (T, "r2", "f", "u")])
+    h.begin("r:1", 9, at=2.0).read("r:1", 9, "r1", 6, "u", at=2.5)
+    h.begin("r:2", 9, at=3.0).read("r:2", 9, "r2", 8, "u", at=3.5)
+    assert kinds(h.events) == ["inconsistent_replay"]
+
+
+def test_scan_rows_are_checked():
+    h = H()
+    h.committed_write("w0:1", 0, 5, "r1", "a", flush_at=1.0)
+    h._emit("scan", txn="r:1", client="r", table=T, start_row="r0",
+            end_row="r9", column="f", start_ts=9, t0=2.0,
+            rows=[["r1", 5, "tampered", False]], at=2.0)
+    assert kinds(h.events) == ["value_mismatch"]
+
+
+def test_report_is_deterministic():
+    h = H()
+    h.committed_write("w0:1", 0, 5, "r1", "a", flush_at=1.0)
+    h.begin("r:1", 3, at=1.5).read("r:1", 3, "r1", 7, "a", at=2.0)
+    first = SIChecker(h.events).check()
+    second = SIChecker(h.events).check()
+    assert first == second
+    assert first.to_json() == second.to_json()
+
+
+# ----------------------------------------------------------------------
+# invariant-monitor fixtures
+# ----------------------------------------------------------------------
+def state(rm=None, clients=None, servers=None, tm=None, t=1.0):
+    return {
+        "t": t,
+        "rm": rm,
+        "clients": clients or {},
+        "servers": servers or {},
+        "tm": tm or {},
+    }
+
+
+def rm_state(tf=10, tp=10, live=(), epoch=1):
+    return {"epoch": epoch, "global_tf": tf, "global_tp": tp,
+            "live_clients": list(live)}
+
+
+def vkinds(st, memory=None):
+    return sorted({v["kind"] for v in evaluate_invariants(st, memory)})
+
+
+def test_clean_state_passes():
+    st = state(
+        rm=rm_state(tf=10, tp=8, live=["w0"]),
+        clients={"w0": {"epoch": 1, "tf": 9, "pending_head": 12,
+                        "order_violations": 0}},
+        servers={"rs0": {"incarnation": 1, "tp": 8, "last_tf_seen": 10}},
+        tm={"truncated_below": 7},
+    )
+    assert vkinds(st, {}) == []
+
+
+def test_tp_above_tf_flagged():
+    assert vkinds(state(rm=rm_state(tf=5, tp=9))) == ["tp_le_tf"]
+
+
+def test_tf_passing_pending_head_flagged():
+    st = state(
+        rm=rm_state(tf=10, tp=5, live=["w0"]),
+        clients={"w0": {"epoch": 1, "tf": 10, "pending_head": 7,
+                        "order_violations": 0}},
+    )
+    assert vkinds(st) == ["tf_le_pending"]
+
+
+def test_dead_client_pending_head_ignored():
+    st = state(
+        rm=rm_state(tf=10, tp=5, live=[]),  # RM no longer tracks w0 live
+        clients={"w0": {"epoch": 1, "tf": 10, "pending_head": 7,
+                        "order_violations": 0}},
+    )
+    assert vkinds(st) == []
+
+
+def test_out_of_order_retirement_flagged():
+    st = state(clients={"w0": {"epoch": 1, "tf": 5, "pending_head": None,
+                               "order_violations": 2}})
+    assert vkinds(st) == ["tf_order"]
+
+
+def test_client_tf_regression_flagged():
+    memory = {}
+    base = {"pending_head": None, "order_violations": 0}
+    assert vkinds(state(clients={"w0": dict(base, epoch=1, tf=10)}), memory) == []
+    assert vkinds(state(clients={"w0": dict(base, epoch=1, tf=6)}), memory) == \
+        ["tf_monotone"]
+
+
+def test_client_restart_resets_tf_watermark():
+    memory = {}
+    base = {"pending_head": None, "order_violations": 0}
+    evaluate_invariants(state(clients={"w0": dict(base, epoch=1, tf=10)}), memory)
+    # New incarnation (fresh tracker): lower T_F is legitimate.
+    assert vkinds(state(clients={"w0": dict(base, epoch=2, tf=0)}), memory) == []
+
+
+def test_server_tp_above_last_tf_flagged():
+    st = state(servers={"rs0": {"incarnation": 1, "tp": 12, "last_tf_seen": 9}})
+    assert vkinds(st) == ["tp_le_last_tf"]
+
+
+def test_server_tf_view_ahead_of_rm_flagged():
+    st = state(
+        rm=rm_state(tf=10, tp=5),
+        servers={"rs0": {"incarnation": 1, "tp": 5, "last_tf_seen": 15}},
+    )
+    assert vkinds(st) == ["server_tf_view"]
+
+
+def test_server_tp_regression_flagged_within_incarnation():
+    memory = {}
+    st1 = state(servers={"rs0": {"incarnation": 1, "tp": 10, "last_tf_seen": 10}})
+    st2 = state(servers={"rs0": {"incarnation": 1, "tp": 4, "last_tf_seen": 10}})
+    assert vkinds(st1, memory) == []
+    assert vkinds(st2, memory) == ["tp_monotone"]
+
+
+def test_server_restart_resets_tp_watermark():
+    memory = {}
+    st1 = state(servers={"rs0": {"incarnation": 1, "tp": 10, "last_tf_seen": 10}})
+    st2 = state(servers={"rs0": {"incarnation": 2, "tp": 0, "last_tf_seen": 10}})
+    assert vkinds(st1, memory) == []
+    assert vkinds(st2, memory) == []
+
+
+def test_truncation_past_tp_flagged():
+    st = state(rm=rm_state(tf=10, tp=5), tm={"truncated_below": 8})
+    assert vkinds(st) == ["truncation_le_tp"]
+
+
+def test_global_threshold_regression_flagged():
+    memory = {}
+    assert vkinds(state(rm=rm_state(tf=10, tp=8)), memory) == []
+    assert vkinds(state(rm=rm_state(tf=7, tp=6)), memory) == ["global_monotone"]
+
+
+def test_rm_restart_resets_global_watermarks():
+    memory = {}
+    evaluate_invariants(state(rm=rm_state(tf=10, tp=8, epoch=1)), memory)
+    assert vkinds(state(rm=rm_state(tf=0, tp=0, epoch=2)), memory) == []

@@ -95,3 +95,42 @@ def test_no_repair_possible_with_no_spare_datanodes():
     # Data still readable from the survivor.
     data = k.run_until_complete(k.process(client.read_all("/f")))
     assert [p for p, _n in data] == ["a"]
+
+
+def test_returning_datanode_reports_blocks_and_rejoins_replica_sets(repair_env):
+    """Regression: pruning must not be forever.
+
+    The monitor prunes an unreachable holder from a closed file's replica
+    set and re-replicates -- but re-replication clones whatever the source
+    has, damage included.  If the pruned node later returns, its block
+    report must re-add it, or the only intact copy in the cluster is
+    never consulted again (seen as whole-region data loss in the chaos
+    sweep before datanodes sent block reports on revive).
+    """
+    k, _net, nn, dns, _host, client = repair_env
+    replicas = run(k, client.create("/f"))
+    run(k, client.append("/f", [("a", 30), ("b", 30)]))
+    run(k, client.close("/f"))
+    by_addr = {dn.addr: dn for dn in dns}
+
+    # Take the first holder dark until the monitor prunes and re-clones.
+    gone = by_addr[replicas[0]]
+    gone.crash()
+    k.run(until=k.now + 5.0)
+    meta = run(k, client.stat("/f"))
+    assert gone.addr not in meta["replicas"]
+
+    # Damage record 0 on every *listed* copy: the only intact copy of
+    # that record now lives on the pruned, dark node.
+    for addr in meta["replicas"]:
+        by_addr[addr].replica("/f").records[0].damage()
+
+    gone.revive()
+    k.run(until=k.now + 3.0)
+    meta = run(k, client.stat("/f"))
+    assert gone.addr in meta["replicas"]
+
+    # Salvage reads the returned holder's copy: nothing is lost.
+    records, report = run(k, client.read_all_salvaged("/f"))
+    assert [p for p, _n in records] == ["a", "b"]
+    assert not report.dropped

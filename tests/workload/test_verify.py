@@ -109,3 +109,54 @@ def test_delete_verifies_as_absence():
 
     cluster.run(ledger.executed(cluster, deleter(), TABLE))
     assert ledger.verify(cluster) == []
+
+
+def test_outcomes_keep_the_complete_history():
+    """Aborts and read-only commits stay out of the durability audit but
+    land in :attr:`outcomes`, so the ledger accounts for every txn."""
+    cluster = build(seed=166)
+    handle = cluster.add_client()
+    ledger = CommitLedger()
+
+    cluster.run(ledger.executed(cluster, committed_txn(handle, [1, 2], "w"), TABLE))
+
+    def read_only():
+        ctx = yield from handle.txn.begin()
+        yield from handle.txn.read(ctx, TABLE, row_key(1))
+        yield from handle.txn.commit(ctx)
+        return ctx
+
+    cluster.run(ledger.executed(cluster, read_only(), TABLE))
+
+    def aborter():
+        ctx = yield from handle.txn.begin()
+        handle.txn.write(ctx, TABLE, row_key(3), "doomed")
+        yield from handle.txn.abort(ctx)
+        return ctx
+
+    cluster.run(ledger.executed(cluster, aborter(), TABLE))
+
+    assert len(ledger) == 1  # only the acked writer is audited
+    assert ledger.outcome_counts() == {
+        "aborted": 1, "committed": 1, "read_only": 1,
+    }
+    by_outcome = {rec.outcome: rec for rec in ledger.outcomes}
+    assert by_outcome["committed"].commit_ts is not None
+    assert by_outcome["committed"].n_writes == 2
+    assert by_outcome["read_only"].commit_ts is not None
+    assert by_outcome["read_only"].n_writes == 0
+    assert by_outcome["aborted"].commit_ts is None
+    assert by_outcome["aborted"].n_writes == 1
+    assert ledger.verify(cluster) == []
+
+
+def test_record_outcome_alone_skips_the_audit():
+    cluster = build(seed=167)
+    handle = cluster.add_client()
+    ledger = CommitLedger()
+
+    ctx = cluster.run(committed_txn(handle, [5], "solo"))
+    ledger.record_outcome(ctx)
+
+    assert len(ledger) == 0
+    assert ledger.outcome_counts() == {"committed": 1}
