@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos chaos-disk check-sweep bench bench-paper examples demo clean
+.PHONY: install test chaos chaos-disk chaos-kill check-sweep bench bench-figs bench-paper examples demo clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -19,6 +19,14 @@ chaos:
 chaos-disk:
 	$(PYTHON) -m repro chaos --seeds 20 --disk-faults --json chaos-disk-report.json
 
+# 20-seed sweep with a second crash injected inside each recovery window
+# (oracle on by default): the recovery-of-recovery acceptance gate.
+chaos-kill:
+	mkdir -p artifacts
+	$(PYTHON) -m repro chaos --seeds 20 --kill-during-recovery \
+		--json artifacts/chaos-kill-report.json \
+		--history-dir artifacts/histories-kill
+
 # Oracle-backed sweeps with per-seed history artifacts: each seed's
 # recorded operation history lands under artifacts/ and can be
 # re-audited offline with `python -m repro check <file>`.
@@ -28,7 +36,12 @@ check-sweep:
 	$(PYTHON) -m repro chaos --seeds 20 --disk-faults \
 		--json artifacts/check-sweep-disk.json --history-dir artifacts/histories-disk
 
+# Standing benchmark snapshot: commit latency percentiles, recovery
+# wall-clock, and simulator event rate, written to BENCH_<n>.json.
 bench:
+	$(PYTHON) -m repro bench
+
+bench-figs:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 bench-paper:

@@ -1,12 +1,13 @@
 """Command-line interface: run the simulated system from a terminal.
 
-Five subcommands cover the common exploration paths without writing any
+Six subcommands cover the common exploration paths without writing any
 code::
 
     python -m repro demo                         # commit, crash, recover
     python -m repro workload --mix A --tps 200   # run a YCSB mix
     python -m repro failover --crash-at 40       # Figure-3-style timeline
     python -m repro chaos --seeds 8              # seed-swept fault storms
+    python -m repro bench                        # snapshot -> BENCH_<n>.json
     python -m repro check history.json           # re-check a saved history
 
 Every run prints its configuration and a deterministic seed, so anything
@@ -213,17 +214,29 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
     from repro.metrics import storage_table
-    from repro.sim.chaos import disk_chaos_settings, run_chaos
+    from repro.sim.chaos import (
+        disk_chaos_settings,
+        kill_during_recovery_settings,
+        run_chaos,
+    )
 
     seeds = [args.seed] if args.seed is not None else list(range(1, args.seeds + 1))
     if not seeds:
         print("error: --seeds must be >= 1", file=sys.stderr)
         return 2
-    settings = disk_chaos_settings() if args.disk_faults else None
+    settings = None
+    if args.disk_faults and args.kill_during_recovery:
+        settings = disk_chaos_settings(kill_during_recovery=1, settle=60.0)
+    elif args.disk_faults:
+        settings = disk_chaos_settings()
+    elif args.kill_during_recovery:
+        settings = kill_during_recovery_settings()
     print(
         f"chaos sweep over {len(seeds)} seed(s): loss, duplication, delay "
         f"spikes, partitions, machine and client crashes"
         + (", disk faults" if args.disk_faults else "")
+        + (", second crash inside the recovery window"
+           if args.kill_during_recovery else "")
     )
     if args.history_dir:
         import os
@@ -277,6 +290,110 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"FAILED seeds: {failed}")
         return 1
     print("all seeds upheld the guarantee")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Standing benchmark snapshot, written to ``BENCH_<n>.json``.
+
+    One fixed scenario -- a YCSB run with a mid-run server crash -- and
+    three headline numbers tracked across commits: commit-path p50/p99
+    from the span tracer, recovery wall-clock from the ``recovery.*``
+    spans, and the simulator's event rate (events per wall-clock second).
+    """
+    import json
+    import os
+    import re
+    import time
+
+    from repro.metrics.spans import tracer_for
+
+    started = time.perf_counter()
+    cluster = _build(args)
+    driver = WorkloadDriver(cluster)
+    crash_at = args.duration / 2.0
+    cluster.after(crash_at, lambda: cluster.crash_server(0))
+    print(
+        f"bench: {args.duration:.0f}s at {args.tps:.0f} tps, "
+        f"crashing rs0 at t={crash_at:.0f}s"
+    )
+    result = driver.run(duration=args.duration, target_tps=args.tps)
+    # Let replay, reopens, and post-commit flushes finish before sampling.
+    cluster.run_until(cluster.kernel.now + 10.0)
+    wall_s = time.perf_counter() - started
+
+    snapshot = cluster.metrics_snapshot()
+    spans = snapshot["spans"]
+    commit = spans.get("commit.rpc", {})
+    recovery_spans = [
+        s
+        for s in tracer_for(cluster.kernel).spans()
+        if s.stage.startswith("recovery.")
+    ]
+    recovery_wall = (
+        max(s.end_time for s in recovery_spans)
+        - min(s.start for s in recovery_spans)
+        if recovery_spans
+        else 0.0
+    )
+    rm = cluster.rm_status()
+    events = cluster.kernel.event_count
+    payload = {
+        "scenario": {
+            "seed": args.seed,
+            "duration_s": args.duration,
+            "offered_tps": args.tps,
+            "servers": args.servers,
+            "regions": args.regions,
+            "rows": args.rows,
+            "clients": args.clients,
+            "crash_at_s": crash_at,
+        },
+        "commit": {
+            "count": commit.get("count", 0),
+            "p50_ms": round(commit.get("p50", 0.0) * 1000, 6),
+            "p99_ms": round(commit.get("p99", 0.0) * 1000, 6),
+        },
+        "recovery": {
+            "wall_clock_s": round(recovery_wall, 6),
+            "regions_recovered": rm["server_region_recoveries"],
+            "replayed_fragments": rm["replayed_fragments"],
+            "spans": {
+                stage: stats
+                for stage, stats in spans.items()
+                if stage.startswith("recovery.")
+            },
+        },
+        "simulator": {
+            "events": events,
+            "wall_clock_s": round(wall_s, 3),
+            "events_per_s": round(events / wall_s, 1) if wall_s > 0 else None,
+        },
+        "workload": result.summary(),
+    }
+
+    taken = [
+        int(m.group(1))
+        for f in os.listdir(args.out)
+        if (m := re.fullmatch(r"BENCH_(\d+)\.json", f))
+    ]
+    n = max(taken) + 1 if taken else 0
+    path = os.path.join(args.out, f"BENCH_{n}.json")
+    with open(path, "w") as fh:
+        fh.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(
+        f"commit p50 {payload['commit']['p50_ms']:.3f} ms, "
+        f"p99 {payload['commit']['p99_ms']:.3f} ms over "
+        f"{payload['commit']['count']} commits"
+    )
+    print(
+        f"recovery wall-clock {recovery_wall:.3f}s "
+        f"({rm['server_region_recoveries']} regions, "
+        f"{rm['replayed_fragments']} fragments)"
+    )
+    print(f"simulator: {events} events in {wall_s:.1f}s wall "
+          f"({payload['simulator']['events_per_s']:.0f} events/s)")
+    print(f"wrote {path}")
     return 0
 
 
@@ -335,12 +452,29 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--disk-faults", action="store_true",
                        help="also inject storage faults (write errors, lying "
                             "fsyncs, latent corruption, torn writes)")
+    chaos.add_argument("--kill-during-recovery", action="store_true",
+                       help="crash a second server while it hosts pending "
+                            "recovery partitions (exercises cascading "
+                            "failover and re-partitioning)")
     chaos.add_argument("--json", metavar="PATH", default=None,
                        help="write the full sweep report as JSON")
     chaos.add_argument("--history-dir", metavar="DIR", default=None,
                        help="write each seed's recorded operation history "
                             "as DIR/history-<seed>.json")
     chaos.set_defaults(func=cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench", help="standing benchmark snapshot -> BENCH_<n>.json"
+    )
+    _add_cluster_args(bench)
+    bench.add_argument("--duration", type=float, default=45.0,
+                       help="simulated run length (a server crash is "
+                            "injected at the midpoint)")
+    bench.add_argument("--tps", type=float, default=200.0,
+                       help="offered transactions per second")
+    bench.add_argument("--out", metavar="DIR", default=".",
+                       help="directory for the numbered BENCH_<n>.json")
+    bench.set_defaults(func=cmd_bench)
 
     check = sub.add_parser(
         "check", help="re-run the consistency oracle on a saved history"

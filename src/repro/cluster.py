@@ -569,8 +569,17 @@ class SimCluster:
 
         Deprecated for counters: prefer ``status("master")`` (the uniform
         envelope); the assignment tables remain only here.
+
+        ``salvage_reports`` is the cluster-wide audit view: with fan-out
+        recovery the salvaging reads happen at the recipients, so their
+        (non-clean) reports are merged into the master's here.
         """
-        return self.run(self.rpc(self.master.addr, "cluster_status"))
+        status = self.run(self.rpc(self.master.addr, "cluster_status"))
+        reports = list(status.get("salvage_reports", []))
+        for rs in self.servers:
+            reports.extend(rep.to_wire() for rep in rs.dfs.salvage_reports)
+        status["salvage_reports"] = reports
+        return status
 
     def rm_status(self) -> dict:
         """Threshold/recovery snapshot from the recovery manager.

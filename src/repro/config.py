@@ -101,6 +101,11 @@ class KvSettings:
     wal_sync_mode: str = "async"
     #: Group-sync period for the async WAL.
     wal_sync_interval: float = 0.05
+    #: Scattered WAL backups: each segment's replica set is a seeded-random
+    #: draw over the live datanodes (RAMCloud-style backup scatter) instead
+    #: of local-first placement, so no single datanode holds the only copy
+    #: of a recovery source and fan-out recovery reads spread cluster-wide.
+    wal_scatter: bool = True
     #: Memstore entries per region that trigger a flush to an sstable.
     memstore_flush_entries: int = 20_000
     #: Store files per region that trigger a (minor) compaction.

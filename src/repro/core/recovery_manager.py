@@ -304,6 +304,21 @@ class RecoveryManager(ZkWatcherMixin, Node):
                 del self.servers[server]
                 entry = None
             if entry is None:
+                stale_deadline = self.kernel.now - (
+                    self.settings.server_heartbeat_interval
+                    * self.settings.missed_heartbeat_limit
+                )
+                if data["t"] < stale_deadline:
+                    # A znode whose heartbeat stopped long ago is a corpse
+                    # awaiting session expiry, not evidence of life.  Between
+                    # the master's failure hook (which drops the dead entry
+                    # once its pins release) and the expiry, a straggling
+                    # read of that stale znode would resurrect a LIVE entry
+                    # for the already-recovered incarnation -- and the next
+                    # poll, seeing the restarted server's fresh incarnation,
+                    # would note a fallen T_P no future hook will ever
+                    # consume, freezing the global T_P forever.
+                    continue
                 self.servers[server] = _Tracked(data["tp"], data["t"], inc)
             elif entry.status == LIVE:
                 # The znode read is a latest-state snapshot, so the report
@@ -605,8 +620,16 @@ class RecoveryManager(ZkWatcherMixin, Node):
         # stale (wider) range would replay rows the hosting server must
         # reject, wedging the recovery.
         table = region.split(",", 1)[0]
-        entries = yield self.call(
-            self.kv.master, "locate_table", timeout=10.0, table=table
+        # Retried: a master failing over mid-recovery must delay the
+        # replay, not abort it (an aborted replay would leave the region
+        # pinned and the global T_P frozen).
+        entries = yield from self.call_with_retry(
+            self.kv.master,
+            "locate_table",
+            policy=RECOVERY_FETCH_RETRY,
+            timeout=10.0,
+            retry_on=(RpcTimeout,),
+            table=table,
         )
         for e in entries:
             self._region_ranges[e["region"]] = (table, e["start"], e["end"])

@@ -88,8 +88,13 @@ class DfsClient:
         )
         return result
 
-    def create(self, path: str, preferred: Optional[str] = None):
+    def create(
+        self, path: str, preferred: Optional[str] = None, scatter: bool = False
+    ):
         """Create ``path``; returns its replica list.  (Generator API.)
+
+        ``scatter=True`` asks the namenode for a seeded-random replica set
+        instead of local-first placement (scattered WAL backups).
 
         Create is not idempotent at the namenode (a repeat raises
         FileAlreadyExists), so a timed-out attempt that may have executed
@@ -108,6 +113,7 @@ class DfsClient:
                     path=path,
                     replication=self.replication,
                     preferred=preferred,
+                    scatter=scatter,
                 )
                 self._replica_cache[path] = meta["replicas"]
                 return meta["replicas"]
@@ -365,3 +371,119 @@ class DfsClient:
             self.salvages += 1
             self.salvage_reports.append(report)
         return records, report
+
+    def read_region_salvaged(self, path: str, regions: List[str]):
+        """Region-filtered salvaging read of one WAL segment.  (Generator API.)
+
+        The fragment-fetch primitive of parallel recovery: each recipient
+        of a recovery partition reads from the scattered backups only the
+        records belonging to *its* regions, so per-recipient read cost
+        shrinks as the plan fans out (datanodes charge bandwidth only for
+        the records they return).
+
+        Replica responses are sparse -- ``(index, payload, nbytes, state)``
+        plus the replica's total record count -- and are merged with the
+        same truncation rule as :meth:`read_all_salvaged`: the stream is
+        cut at the first record *no* replica holds intact.  A record a
+        replica verified but filtered out counts as intact (the backup
+        checked its checksum to read its region id), so filtering never
+        weakens the salvage guarantee.  Returns ``(records, report)`` with
+        records as ``(payload, nbytes)`` pairs for the requested regions
+        (segment headers included, for writer validation upstream).
+        """
+        replicas = yield from self._replicas(path)
+        responses: List[Tuple[str, int, Dict[int, Tuple[Any, int, str]]]] = []
+        last_error: Optional[Exception] = None
+        for dn in replicas:
+            if not self.host.net.reachable(self.host.addr, dn):
+                continue
+            try:
+                result = yield self.host.call(
+                    dn, "read_filtered", timeout=5.0, path=path,
+                    regions=list(regions),
+                )
+            except (RpcError, FileNotFound) as exc:
+                last_error = exc
+                continue
+            entries = {
+                index: (payload, nbytes, state)
+                for index, payload, nbytes, state in result["entries"]
+            }
+            responses.append((dn, result["total"], entries))
+        if not responses:
+            raise DfsError(f"no live replica could serve {path!r}: {last_error!r}")
+        total = max(result_total for _dn, result_total, _e in responses)
+        report = SalvageReport(path=path, total=total)
+        records: List[WireRecord] = []
+        kept = 0
+        for index in range(total):
+            best: Optional[Tuple[Any, int, str]] = None
+            intact_elsewhere = False  # verified by a backup, filtered out
+            saw_damage = False
+            for _dn, result_total, entries in responses:
+                if index >= result_total:
+                    continue
+                entry = entries.get(index)
+                if entry is None:
+                    intact_elsewhere = True
+                    continue
+                payload, nbytes, state = entry
+                if state == "ok":
+                    if best is None or best[2] != "ok":
+                        best = (payload, nbytes, "ok")
+                else:
+                    saw_damage = True
+                    if best is None:
+                        best = (payload, nbytes, state)
+            if best is not None and best[2] == "ok":
+                if saw_damage:
+                    report.repaired += 1
+                    self._repair_filtered(path, index, best, responses)
+                records.append((best[0], best[1]))
+                kept += 1
+                continue
+            if intact_elsewhere:
+                kept += 1  # intact somewhere, just not one of our regions
+                continue
+            # No replica holds this record intact: everything from here on
+            # is unordered garbage -- truncate, as salvage_prefix does.
+            report.reason = (
+                "torn-record" if best is not None and best[2] == "torn"
+                else "corrupt-record"
+            )
+            for _dn, result_total, entries in responses:
+                for later, (_p, nbytes, state) in entries.items():
+                    if later < index:
+                        continue
+                    report.bytes_truncated += nbytes
+                    if state == "torn":
+                        report.torn += 1
+                    elif state != "ok":
+                        report.corrupt += 1
+            break
+        report.kept = kept
+        report.dropped = report.total - kept if report.reason != "clean" else 0
+        report.replicas_missing = len(replicas) - len(responses)
+        if not report.clean:
+            self.salvages += 1
+            self.salvage_reports.append(report)
+        return records, report
+
+    def _repair_filtered(
+        self,
+        path: str,
+        index: int,
+        clean: Tuple[Any, int, str],
+        responses: List[Tuple[str, int, Dict[int, Tuple[Any, int, str]]]],
+    ) -> None:
+        """Push the verified copy at replicas whose copy answered damaged."""
+        payload, nbytes, _state = clean
+        for dn, _total, entries in responses:
+            entry = entries.get(index)
+            if entry is None or entry[2] == "ok":
+                continue
+            self.host.cast(
+                dn, "repair_record", path=path, index=index,
+                payload=payload, nbytes=nbytes, size=max(nbytes, 64),
+            )
+            self.records_repaired += 1

@@ -34,6 +34,7 @@ from repro.sim.events import Interrupt
 from repro.sim.kernel import Kernel
 from repro.sim.network import Network
 from repro.sim.node import Node
+from repro.storage import is_segment_header
 
 
 class DataNode(Node):
@@ -211,6 +212,46 @@ class DataNode(Node):
         )
         yield self.kernel.timeout(duration)
         return [(r.payload, r.nbytes, r.state) for r in chunk]
+
+    def rpc_read_filtered(self, sender: str, path: str, regions: List[str]):
+        """Region-filtered read of one WAL segment replica.
+
+        The backup-side half of parallel recovery's fragment fetch: return
+        only the records a recovery partition actually needs -- WAL records
+        whose region id is in ``regions``, plus segment headers (writer
+        validation) and every record that fails verification here (its
+        region id cannot be trusted, so the reader must see the damage).
+        Entries keep their original indices and the replica's total record
+        count, so the client-side cross-replica merge and truncation rule
+        work exactly as for a full read.
+
+        The disk charge covers only the records returned: the filter is
+        what makes per-recipient fetch cost shrink as the recovery plan
+        fans out across more servers.
+        """
+        replica = self._replicas.get(path)
+        if replica is None:
+            replica = StoredFile(path=path)
+        wanted = set(regions)
+        entries = []
+        for index, record in enumerate(replica.records):
+            state = record.state
+            if state == "ok":
+                payload = record.payload
+                relevant = is_segment_header(payload) or (
+                    isinstance(payload, tuple)
+                    and len(payload) == 3
+                    and payload[0] in wanted
+                )
+                if not relevant:
+                    continue
+            entries.append((index, record.payload, record.nbytes, state))
+        nbytes = sum(n for _i, _p, n, _s in entries)
+        duration = self._read_latency + (
+            nbytes / self.disk.bytes_per_second if self.disk.bytes_per_second else 0.0
+        )
+        yield self.kernel.timeout(duration)
+        return {"total": replica.length, "entries": entries}
 
     def rpc_repair_record(
         self, sender: str, path: str, index: int, payload: object, nbytes: int

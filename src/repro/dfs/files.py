@@ -68,6 +68,10 @@ class FileMeta:
     #: Desired replica count; the namenode's replication monitor restores
     #: this after datanode failures.
     replication: int = 2
+    #: Whether the replica set was a seeded-random (scattered) draw rather
+    #: than local-first placement.  Recorded so recovery tooling can tell
+    #: scattered WAL segments from affinity-placed files.
+    scattered: bool = False
 
     def to_wire(self) -> dict:
         """Serialisable snapshot for RPC replies."""
@@ -77,6 +81,7 @@ class FileMeta:
             "length": self.length,
             "nbytes": self.nbytes,
             "closed": self.closed,
+            "scattered": self.scattered,
         }
 
 

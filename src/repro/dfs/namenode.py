@@ -5,6 +5,12 @@ sets at create time (local-first placement, mirroring HDFS's
 write-affinity that the paper exploits by co-locating datanodes with region
 servers), and answers lookups.  Per the paper's assumptions the namenode
 itself is reliable; its failure is out of scope.
+
+Files created with ``scatter=True`` (WAL segments) instead draw their
+replica set from a seeded RNG substream over the live datanodes, RAMCloud
+style: each segment lands on a different backup subset, so a dead server's
+log is spread across the whole cluster and recovery reads fan out instead
+of hammering the one co-located datanode that also just died.
 """
 
 from __future__ import annotations
@@ -32,6 +38,11 @@ class NameNode(Node):
         self._files: Dict[str, FileMeta] = {}
         self._datanodes: List[str] = []
         self._placement_cursor = 0
+        #: Seeded placement stream for scattered (per-segment random)
+        #: replica sets -- independent of every other stream, so enabling
+        #: scatter does not perturb workload or fault schedules.
+        self._scatter_rng = kernel.rng.substream(f"scatter.{addr}")
+        self.scattered_creates = 0
         self._repairs_in_progress: set = set()
         self.repairs_completed = 0
         if repair_interval > 0:
@@ -67,34 +78,53 @@ class NameNode(Node):
     # namespace operations
     # ------------------------------------------------------------------
     def rpc_create(
-        self, sender: str, path: str, replication: int, preferred: Optional[str] = None
+        self,
+        sender: str,
+        path: str,
+        replication: int,
+        preferred: Optional[str] = None,
+        scatter: bool = False,
     ) -> dict:
         """Create ``path`` and assign its replica set.
 
         Placement: the preferred (co-located) datanode first if it is alive,
-        then round-robin over the remaining live datanodes.
+        then round-robin over the remaining live datanodes.  With
+        ``scatter=True`` the whole replica set is instead a seeded-random
+        draw over the live datanodes (no local-first affinity), recorded in
+        the file's metadata -- the scattered-backup placement for WAL
+        segments.
         """
         if path in self._files:
             raise FileAlreadyExists(path)
         live = self.live_datanodes()
         replicas: List[str] = []
-        if preferred is not None and preferred in live:
-            replicas.append(preferred)
-        # Round-robin fill so files spread evenly across the cluster.
-        candidates = [dn for dn in live if dn not in replicas]
-        for _ in range(len(candidates)):
-            if len(replicas) >= replication:
-                break
-            pick = candidates[self._placement_cursor % len(candidates)]
-            self._placement_cursor += 1
-            if pick not in replicas:
-                replicas.append(pick)
+        if scatter and live:
+            want = min(replication, len(live))
+            # ``live`` is in registration order (deterministic), so the
+            # sample is reproducible for a given seed.
+            replicas = self._scatter_rng.sample(live, want)
+            self.scattered_creates += 1
+        else:
+            if preferred is not None and preferred in live:
+                replicas.append(preferred)
+            # Round-robin fill so files spread evenly across the cluster.
+            candidates = [dn for dn in live if dn not in replicas]
+            for _ in range(len(candidates)):
+                if len(replicas) >= replication:
+                    break
+                pick = candidates[self._placement_cursor % len(candidates)]
+                self._placement_cursor += 1
+                if pick not in replicas:
+                    replicas.append(pick)
         if len(replicas) < min(replication, 1):
             raise NotEnoughReplicas(
                 f"need {replication} replicas for {path!r}, "
                 f"only {len(live)} live datanodes"
             )
-        meta = FileMeta(path=path, replicas=replicas, replication=replication)
+        meta = FileMeta(
+            path=path, replicas=replicas, replication=replication,
+            scattered=scatter,
+        )
         self._files[path] = meta
         return meta.to_wire()
 

@@ -5,14 +5,22 @@ ephemeral znodes, as HBase does through ZooKeeper) the master:
 
 1. notifies the recovery manager that the server failed and which regions
    are affected -- the paper's first hook;
-2. splits the dead server's durable WAL by region into recovered-edits
-   files;
-3. reassigns each affected region to a live server, passing the
-   recovered-edits path and the failed server's identity so the opening
-   server can run HBase-internal recovery and then wait on the
-   transactional recovery gate.
+2. computes a *recovery plan*: the dead server's durable WAL segment list
+   (scattered across the cluster's datanodes at append time), partitioned
+   by region across all live servers;
+3. reassigns each affected region to its plan recipient, passing the
+   segment list and the failed server's identity.  Each recipient fetches
+   its region's records straight from the scattered backups and replays
+   them concurrently -- fan-out recovery, no central log splitting -- then
+   waits on the transactional recovery gate before going online.
 
-Per the paper's assumptions the master itself is reliable.
+Per the paper's assumptions the master itself is reliable.  Recovery as a
+whole still survives failures of its own: a recipient dying mid-recovery
+leaves its regions assigned to the corpse, so the liveness loop's failover
+for *that* death re-partitions exactly the orphaned regions (deduplicated
+by failover id at the recovery manager, with replay idempotent under
+versioned cells); per-region log sources accumulate across failovers so a
+re-partitioned region always replays every incarnation's segments.
 """
 
 from __future__ import annotations
@@ -22,16 +30,27 @@ from typing import Dict, List, Optional
 
 from repro.config import KvSettings
 from repro.dfs.client import DfsClient
-from repro.errors import DfsError, KvError, RpcError
+from repro.errors import KvError, RpcError
 from repro.kvstore.region import RegionDescriptor
 from repro.kvstore.regionserver import RS_ZNODE_DIR
-from repro.kvstore.wal import salvage_wal_records, wal_dir
-from repro.sim.events import Interrupt
+from repro.kvstore.wal import wal_dir
 from repro.metrics.registry import MetricsRegistry, status_envelope
+from repro.metrics.spans import tracer_for
+from repro.sim.events import Interrupt
 from repro.sim.kernel import Kernel
 from repro.sim.network import Network
 from repro.sim.node import Node
+from repro.sim.retry import RetryPolicy, UNBOUNDED_RETRY
 from repro.zk.client import ZkClient, ZkWatcherMixin
+
+#: Pacing for region-open handoffs during failover.  The attempt bound
+#: lives in ``_open_with_retry`` (it interleaves liveness checks between
+#: attempts); the policy shapes the jittered backoff so retried opens from
+#: concurrent failovers don't synchronise.
+OPEN_RETRY = RetryPolicy(
+    base_delay=0.5, multiplier=1.5, max_delay=3.0, jitter=0.2,
+    max_attempts=None,
+)
 
 
 class Master(ZkWatcherMixin, Node):
@@ -68,7 +87,19 @@ class Master(ZkWatcherMixin, Node):
             self.registry.counter(name)
         #: Non-clean salvage reports from log splitting (audit trail:
         #: damaged WAL records are accounted for, never silently skipped).
+        #: With fan-out recovery the salvaging happens at the recipients;
+        #: this list keeps any master-side reports and the cluster harness
+        #: merges in the recipients' for one audit view.
         self.salvage_reports: List[dict] = []
+        #: Per-region recovery log sources: every WAL segment path a
+        #: region's edits may live in, accumulated across failovers and
+        #: never cleared while the run lasts (fan-out replay lands in
+        #: recipients' memstores only, so if a recipient dies the next
+        #: open must re-fetch from the original scattered segments --
+        #: master-side memory is sound because the master is reliable
+        #: per the paper).  Duplicate replay is idempotent.
+        self._recovery_sources: Dict[str, List[str]] = {}
+        self._tracer = tracer_for(kernel)
 
     @property
     def _failures_handled(self) -> int:
@@ -224,6 +255,10 @@ class Master(ZkWatcherMixin, Node):
             "splits": self._splits,
             "merges": self._merges,
             "salvage_reports": [dict(r) for r in self.salvage_reports],
+            "recovery_sources": {
+                region: list(paths)
+                for region, paths in sorted(self._recovery_sources.items())
+            },
         }
 
     # ------------------------------------------------------------------
@@ -395,7 +430,14 @@ class Master(ZkWatcherMixin, Node):
     # failure handling
     # ------------------------------------------------------------------
     def _handle_server_failure(self, dead: str):
-        """Recover every region the dead server hosted (Section 3.2)."""
+        """Recover every region the dead server hosted (Section 3.2).
+
+        Fan-out recovery: instead of splitting the dead server's WAL
+        centrally, the master computes a plan -- the segment list plus a
+        partition of the affected regions across all live servers -- and
+        each recipient fetches its own regions' records from the scattered
+        backups and replays them in parallel.
+        """
         affected = sorted(
             region for region, server in self.assignments.items() if server == dead
         )
@@ -404,7 +446,20 @@ class Master(ZkWatcherMixin, Node):
             self.online[region] = False
 
         epoch = next(self._epoch)
+        failover_span = self._tracer.begin(
+            "recovery.failover", server=dead, regions=len(affected), epoch=epoch
+        )
+        try:
+            yield from self._failover(dead, affected, epoch)
+        except Interrupt:
+            raise  # master interrupted: leave the span open (truncated)
+        except BaseException:
+            failover_span.end(outcome="error")
+            raise
+        failover_span.end()
 
+    def _failover(self, dead: str, affected: List[str], epoch: int):
+        """The body of one failover attempt.  (Generator API.)"""
         # Hook 1: tell the recovery manager which server died and which
         # regions are affected, before any region comes back.  Delivered
         # reliably: if the recovery manager is down, the affected regions
@@ -415,73 +470,36 @@ class Master(ZkWatcherMixin, Node):
         # recovery it triggered completed, and re-pinning the regions then
         # would freeze T_P forever.
         if self.recovery_manager is not None:
-            while True:
-                try:
-                    yield self.call(
-                        self.recovery_manager,
-                        "server_failed",
-                        timeout=2.0,
-                        server=dead,
-                        regions=affected,
-                        failover_id=epoch,
-                    )
-                    break
-                except RpcError:
-                    yield self.sleep(0.5)
+            yield from self.call_with_retry(
+                self.recovery_manager,
+                "server_failed",
+                policy=UNBOUNDED_RETRY,
+                timeout=2.0,
+                retry_on=(RpcError,),
+                server=dead,
+                regions=affected,
+                failover_id=epoch,
+            )
 
-        # Log splitting: group the dead server's durable WAL by region.
-        edits_by_region: Dict[str, List] = {region: [] for region in affected}
+        # Recovery plan: list the dead server's durable WAL segments (left
+        # in place on the scattered backups) and accumulate them into each
+        # affected region's log-source set.  Accumulated, never replaced:
+        # an orphaned region re-partitioned by a later failover must still
+        # replay the segments of every incarnation that ever hosted it.
+        plan_span = self._tracer.begin(
+            "recovery.plan", server=dead, regions=len(affected), epoch=epoch
+        )
         wal_paths = yield from self.dfs.list_dir(wal_dir(dead))
-        for path in wal_paths:
-            records = None
-            salvage = None
-            for _attempt in range(15):
-                try:
-                    records, salvage = yield from salvage_wal_records(self.dfs, path)
-                except DfsError:
-                    # Every listed replica is unreachable right now.  The
-                    # machines holding them come back with their disks
-                    # intact, so wait for one rather than treating durable
-                    # records as lost -- T_P has already vouched for them,
-                    # and the transaction log only covers what lies above
-                    # the failed server's threshold.
-                    yield self.sleep(1.0)
-                    continue
-                if salvage.dropped and salvage.replicas_missing:
-                    # The scan truncated records no *reachable* replica
-                    # holds intact -- but a holder is down, and it may
-                    # come back with those records whole on its disk.
-                    # Same reasoning as above: waiting is safe, accepting
-                    # a provisional truncation of vouched-for records is
-                    # not.
-                    yield self.sleep(1.0)
-                    continue
-                break
-            if records is None:
-                # Replicas truly gone (simultaneous loss of every holder,
-                # beyond the replication factor's failure model).
-                continue
-            if not salvage.clean:
-                self.salvage_reports.append(salvage.to_wire())
-            for region_id, txn_ts, cells in records:
-                if region_id in edits_by_region:
-                    edits_by_region[region_id].append((region_id, txn_ts, cells))
+        for region in affected:
+            sources = self._recovery_sources.setdefault(region, [])
+            for path in wal_paths:
+                if path not in sources:
+                    sources.append(path)
 
-        recovered_paths: Dict[str, Optional[str]] = {}
-        for region, edits in edits_by_region.items():
-            if not edits:
-                recovered_paths[region] = None
-                continue
-            path = f"/recovered/{region}/edits-{epoch}"
-            yield from self.dfs.create(path)
-            wire = [(edit, max(64, 64 * len(edit[2]))) for edit in edits]
-            yield from self.dfs.append(path, wire, durable=True)
-            yield from self.dfs.close(path)
-            recovered_paths[region] = path
-
-        # Reassign: regions can go to different servers and recover in
-        # parallel ("different regions can be assigned to different servers
-        # leading to parallel recovery").
+        # Partition the affected regions across all live servers: regions
+        # recover in parallel, each recipient fetching only its own
+        # partition's records from the backups ("different regions can be
+        # assigned to different servers leading to parallel recovery").
         servers = [s for s in self._live_servers if s != dead]
         while not servers:
             # ``self._live_servers`` is maintained by the liveness loop,
@@ -500,21 +518,23 @@ class Master(ZkWatcherMixin, Node):
             servers = [path.rsplit("/", 1)[1] for path in children]
         descriptors = {d.region_id: d for ds in self.tables.values() for d in ds}
         opens = []
+        recipients = set()
         for region in affected:
             server = servers[next(self._assign_cursor) % len(servers)]
             self.assignments[region] = server
+            recipients.add(server)
             proc = self.spawn(
                 self._open_with_retry(
                     server,
                     region,
                     descriptors[region].to_wire(),
-                    recovered_paths[region],
                     dead,
                 ),
                 name=f"open:{region}",
             )
             proc.defuse()
             opens.append(proc)
+        plan_span.end(segments=len(wal_paths), recipients=len(recipients))
         # Wait for the opens so consecutive failures are handled with a
         # consistent view -- but the per-region retry loops never raise, so
         # a permanently-unrecoverable region (e.g. store files lost beyond
@@ -529,7 +549,6 @@ class Master(ZkWatcherMixin, Node):
         server: str,
         region: str,
         descriptor: dict,
-        recovered_edits: Optional[str],
         failed_server: str,
         attempts: int = 10,
     ):
@@ -551,12 +570,14 @@ class Master(ZkWatcherMixin, Node):
                     "open_region",
                     timeout=15.0,
                     descriptor=descriptor,
-                    recovered_edits=recovered_edits,
                     failed_server=failed_server,
+                    log_sources=list(self._recovery_sources.get(region, [])),
                 )
                 return True
             except (RpcError, KvError):
-                yield self.sleep(1.0)  # e.g. DFS re-replication in progress
+                # e.g. DFS re-replication in progress; jittered backoff so
+                # concurrent failovers' retries don't synchronise.
+                yield self.sleep(OPEN_RETRY.backoff(attempt + 1, self.retry_rng))
             try:
                 children = yield from self.zk.get_children(RS_ZNODE_DIR)
             except Interrupt:
@@ -573,9 +594,8 @@ class Master(ZkWatcherMixin, Node):
                 # transactional replay, acknowledged commits silently
                 # lost.  Give up with the assignment still pointing at
                 # the corpse: the liveness loop fails that server over
-                # with this region in its affected set, and the
-                # recovered-edits files this failover produced persist
-                # under /recovered/<region>/ for any later open to
-                # replay.
+                # with this region in its affected set, and the region's
+                # accumulated log sources persist in the plan for any
+                # later open to replay.
                 return False
         return False

@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.config import KvSettings
 from repro.dfs.client import DfsClient
-from repro.errors import RegionOffline, RpcError, WrongRegionServer
+from repro.errors import DfsError, RegionOffline, RpcError, WrongRegionServer
 from repro.kvstore.blockcache import BlockCache
 from repro.kvstore.keys import Cell, WireCell
 from repro.kvstore.region import (
@@ -36,7 +36,7 @@ from repro.kvstore.region import (
     RegionDescriptor,
 )
 from repro.kvstore.sstable import SSTable
-from repro.kvstore.wal import SYNC, WriteAheadLog
+from repro.kvstore.wal import SYNC, WriteAheadLog, fetch_region_records
 from repro.metrics.registry import MetricsRegistry, status_envelope
 from repro.metrics.spans import tracer_for
 from repro.sim.events import Interrupt
@@ -44,10 +44,22 @@ from repro.sim.kernel import Kernel
 from repro.sim.network import Network
 from repro.sim.node import Node
 from repro.sim.resource import Resource
+from repro.sim.retry import RetryPolicy
 from repro.zk.client import ZkClient, ZkWatcherMixin
 
 #: ZK directory of live region-server ephemerals.
 RS_ZNODE_DIR = "/hbase/rs"
+
+#: Pacing for recovery-source reads (scattered WAL fragments and
+#: recovered-edits files).  A read that fails because every holder is
+#: unreachable -- or that would *provisionally* truncate because a listed
+#: replica is dark -- waits for the holder to come back rather than
+#: accepting the loss; after the deadline the truncation is accepted and
+#: the damage surfaces through the salvage report.
+RECOVERY_READ_RETRY = RetryPolicy(
+    base_delay=0.5, multiplier=1.5, max_delay=2.0, jitter=0.2,
+    max_attempts=None, deadline=30.0,
+)
 
 # Block-map representation cached per block: (row, col) -> versions ascending.
 BlockMap = Dict[Tuple[str, str], List[Tuple[int, Any]]]
@@ -92,6 +104,7 @@ class RegionServer(ZkWatcherMixin, Node):
             mode=self.settings.wal_sync_mode,
             sync_interval=self.settings.wal_sync_interval,
             local_datanode=local_datanode,
+            scatter=self.settings.wal_scatter,
         )
         self.regions: Dict[str, Region] = {}
         self.extension: Optional[Any] = None
@@ -179,6 +192,7 @@ class RegionServer(ZkWatcherMixin, Node):
             sync_interval=self.settings.wal_sync_interval,
             local_datanode=self.local_datanode,
             epoch=self._epoch,
+            scatter=self.settings.wal_scatter,
         )
         result = yield from self.start()
         return result
@@ -192,6 +206,7 @@ class RegionServer(ZkWatcherMixin, Node):
         descriptor: dict,
         recovered_edits: Optional[str] = None,
         failed_server: Optional[str] = None,
+        log_sources: Optional[List[str]] = None,
     ):
         """Open (and if needed recover) a region, then declare it online.
 
@@ -199,6 +214,13 @@ class RegionServer(ZkWatcherMixin, Node):
         from the split WAL (HBase-internal recovery), then -- if a recovery
         extension is attached -- wait for the transactional recovery gate
         before going online.
+
+        ``log_sources`` is the fan-out recovery path: the master's plan
+        hands each recipient the dead server's WAL segment paths, and the
+        recipient fetches *its region's* records straight from the
+        scattered backups (a region-filtered salvaging read) and replays
+        them here -- no central log splitting.  Recipients work in
+        parallel, each reading only its partition's bytes.
         """
         desc = RegionDescriptor.from_wire(descriptor)
         existing = self.regions.get(desc.region_id)
@@ -218,9 +240,14 @@ class RegionServer(ZkWatcherMixin, Node):
                 # up: the master can pin the region for an earlier
                 # incarnation's death after our re-open finished, and only
                 # the recovery gate releases that pin.  Replays are
-                # idempotent (versioned cells), so run the gate against
-                # the live region, and re-announce since the master marks
-                # a region offline when it starts a failover for it.
+                # idempotent (versioned cells), so replay any log sources
+                # this open carries against the live region, run the gate,
+                # and re-announce since the master marks a region offline
+                # when it starts a failover for it.
+                if log_sources:
+                    yield from self._replay_log_sources(
+                        existing, log_sources, failed_server
+                    )
                 if self.extension is not None and failed_server is not None:
                     gate_span = self._tracer.begin(
                         "recovery.region_gate",
@@ -270,7 +297,9 @@ class RegionServer(ZkWatcherMixin, Node):
                 # or a torn tail just like any other DFS file; damaged
                 # records are repaired from healthy replicas or truncated
                 # with an auditable report, never replayed unverified.
-                records, salvage = yield from self.dfs.read_all_salvaged(path)
+                records, salvage = yield from self._read_patiently(
+                    lambda p=path: self.dfs.read_all_salvaged(p)
+                )
                 if not salvage.clean:
                     self.stats["replay_salvages"] += 1
                 for payload, _nbytes in records:
@@ -278,6 +307,13 @@ class RegionServer(ZkWatcherMixin, Node):
                     for wire in cells:
                         region.memstore.put(Cell.from_wire(wire))
                         replayed += 1
+
+            # Fan-out recovery: fetch this region's fragments from the
+            # dead server's scattered WAL segments and replay them.
+            if log_sources:
+                replayed += yield from self._replay_log_sources(
+                    region, log_sources, failed_server
+                )
 
             # Transactional recovery gate (the paper's hook).
             if self.extension is not None and failed_server is not None:
@@ -322,6 +358,92 @@ class RegionServer(ZkWatcherMixin, Node):
                 return
             except RpcError:
                 yield self.sleep(0.5)
+
+    def _read_patiently(self, make_read):
+        """Run a salvaging read, waiting out dark holders.  (Generator API.)
+
+        ``make_read`` builds a fresh read generator per attempt (a
+        salvaging read returning ``(records, report)``).  Two outcomes make
+        us wait and retry under :data:`RECOVERY_READ_RETRY` instead of
+        proceeding: no reachable holder at all (:class:`DfsError`), and a
+        *provisional* truncation -- records dropped while a listed replica
+        was unreachable, meaning a backup that comes back with its disk
+        intact may still hold them whole.  Recovery sources carry acked
+        commits, so accepting such a truncation early would silently lose
+        data a revived backup could have served.
+        """
+        start = self.kernel.now
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                records, report = yield from make_read()
+            except DfsError:
+                if RECOVERY_READ_RETRY.gives_up(attempt, self.kernel.now - start):
+                    raise
+                yield self.sleep(
+                    RECOVERY_READ_RETRY.backoff(attempt, self.retry_rng)
+                )
+                continue
+            if report.dropped and report.replicas_missing:
+                if RECOVERY_READ_RETRY.gives_up(attempt, self.kernel.now - start):
+                    return records, report  # deadline: accept, damage reported
+                yield self.sleep(
+                    RECOVERY_READ_RETRY.backoff(attempt, self.retry_rng)
+                )
+                continue
+            return records, report
+
+    def _replay_log_sources(
+        self,
+        region: Region,
+        log_sources: List[str],
+        failed_server: Optional[str],
+    ):
+        """Fetch and replay one recovery partition's log fragments.
+
+        (Generator API; returns the number of cells replayed.)  Each
+        segment is read through the region-filtered salvage path -- the
+        scattered backups return only this region's records -- and applied
+        to the memstore with a CPU charge proportional to the cells
+        applied, so replay work genuinely spreads across recipients.
+        Versioned cells make duplicate replay (master retries, repeated
+        failovers) idempotent.
+        """
+        span = self._tracer.begin(
+            "recovery.fragment_replay",
+            region=region.region_id,
+            failed_server=failed_server,
+            segments=len(log_sources),
+        )
+        replayed = 0
+        try:
+            for path in log_sources:
+                records, salvage = yield from self._read_patiently(
+                    lambda p=path: fetch_region_records(
+                        self.dfs, p, [region.region_id]
+                    )
+                )
+                if not salvage.clean:
+                    self.stats["replay_salvages"] += 1
+                cells_in_segment = 0
+                for payload in records:
+                    _region_id, txn_ts, cells = payload
+                    for wire in cells:
+                        region.memstore.put(Cell.from_wire(wire))
+                    cells_in_segment += len(cells)
+                if cells_in_segment:
+                    yield from self.cpu.use(
+                        self.settings.op_service_time * cells_in_segment * 0.5
+                    )
+                replayed += cells_in_segment
+        except Interrupt:
+            raise  # crash mid-replay: leave the span open (truncated)
+        except BaseException:
+            span.end(outcome="error", cells=replayed)
+            raise
+        span.end(cells=replayed)
+        return replayed
 
     def rpc_close_region(self, sender: str, region_id: str):
         """Cleanly close a region for a move (not a failure path).

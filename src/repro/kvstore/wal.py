@@ -50,6 +50,7 @@ class WriteAheadLog:
         local_datanode: Optional[str] = None,
         roll_records: int = 5000,
         epoch: int = 0,
+        scatter: bool = True,
     ) -> None:
         if mode not in (SYNC, ASYNC):
             raise ValueError(f"unknown WAL mode {mode!r}")
@@ -59,6 +60,11 @@ class WriteAheadLog:
         self.sync_interval = sync_interval
         self.per_cell_bytes = per_cell_bytes
         self.local_datanode = local_datanode
+        #: Scattered-backup placement: each segment's replica set is a
+        #: seeded-random draw over the live datanodes instead of
+        #: local-first, so no single backup holds the whole log and
+        #: recovery reads fan out across the cluster (RAMCloud style).
+        self.scatter = scatter
         #: Records per segment before the log rolls to a fresh file.  A
         #: closed segment is immutable, which lets the DFS re-replicate it
         #: after datanode failures (as HBase's periodic WAL rolls do).
@@ -94,7 +100,9 @@ class WriteAheadLog:
     def open(self):
         """Create the DFS file and start the group syncer.  (Generator API.)"""
         self._sync_lock = Resource(self.host.kernel, capacity=1)
-        yield from self.dfs.create(self.path, preferred=self.local_datanode)
+        yield from self.dfs.create(
+            self.path, preferred=self.local_datanode, scatter=self.scatter
+        )
         yield from self._write_header()
         if self.mode == ASYNC:
             self.host.spawn(self._group_syncer(), name="wal-syncer")
@@ -226,7 +234,9 @@ class WriteAheadLog:
         self._file_index += 1
         self._file_records = 0
         self.rolls += 1
-        yield from self.dfs.create(self.path, preferred=self.local_datanode)
+        yield from self.dfs.create(
+            self.path, preferred=self.local_datanode, scatter=self.scatter
+        )
         yield from self._write_header()
         yield from self.dfs.close(old_path)
 
@@ -277,6 +287,32 @@ def salvage_wal_records(dfs: DfsClient, path: str):
     order plus the salvage report; damaged records are never replayed.
     """
     entries, report = yield from dfs.read_all_salvaged(path)
+    payloads = []
+    for payload, _nbytes in entries:
+        if is_segment_header(payload):
+            header = SegmentHeader.from_wire(payload)
+            if not path.startswith(wal_dir(header.writer)):
+                report.reason = "foreign-segment"
+                report.kept = 0
+                report.dropped = report.total
+                return [], report
+            continue
+        payloads.append(payload)
+    return payloads, report
+
+
+def fetch_region_records(dfs: DfsClient, path: str, regions: List[str]):
+    """Fetch one segment's records for specific regions.  (Generator API.)
+
+    The recipient-side fragment fetch of parallel recovery: a
+    region-filtered salvaging read (each backup returns -- and charges
+    for -- only the requested regions' records), merged across the
+    scattered replicas with the usual truncate-at-first-unsalvageable
+    rule.  Segment headers are validated exactly as in
+    :func:`salvage_wal_records`: a segment written by a different server
+    is rejected outright.  Returns ``(payloads, report)``.
+    """
+    entries, report = yield from dfs.read_region_salvaged(path, regions)
     payloads = []
     for payload, _nbytes in entries:
         if is_segment_header(payload):

@@ -69,6 +69,13 @@ class ChaosSettings:
 
     # -- discrete faults (count drawn positions inside the storm) ---------
     server_crashes: int = 1
+    #: Second-crash injections *inside* a recovery window: a watcher polls
+    #: the recovery manager's pending regions and, while any are pinned,
+    #: crashes a live server currently hosting one of them -- the
+    #: recovery-of-recovery path (a recipient dies mid-replay and the
+    #: orphaned partitions must be re-covered by a fresh failover).  Each
+    #: victim restarts after a crash-like dwell.
+    kill_during_recovery: int = 0
     client_crashes: int = 1
     partitions: int = 1
     loss_bursts: int = 1
@@ -122,13 +129,34 @@ def disk_chaos_settings(**overrides) -> "ChaosSettings":
     The TM's log device stays clean, matching the paper's assumption of
     reliable TM stable storage (its salvage path is unit-tested instead).
     """
+    # The write-error rate is sized to the storm's durable-write volume:
+    # with fan-out recovery the master no longer writes recovered-edits
+    # files mid-storm, so the heartbeat WAL syncs are the main draw sites
+    # and a lower rate would leave whole sweeps without a single hit.
     base = dict(
-        disk_write_error_probability=0.02,
+        disk_write_error_probability=0.05,
         disk_lost_fsync_probability=0.02,
         disk_corruption_probability=0.001,
         disk_torn_write_probability=0.6,
         disk_fault_storms=1,
     )
+    base.update(overrides)
+    return ChaosSettings(**base)
+
+
+def kill_during_recovery_settings(**overrides) -> "ChaosSettings":
+    """The kill-during-recovery chaos profile.
+
+    The regular storm plus one targeted second crash: as soon as the
+    first machine failure pins regions at the recovery manager, a watcher
+    kills a live server that is hosting one of those pending recovery
+    partitions.  That exercises the recovery-of-recovery path end to end:
+    the cascading failover must re-partition only the orphaned regions,
+    the pin must transfer keeping the lower T_P, and the replay must stay
+    idempotent across the repeated passes.  A longer settle budget covers
+    the extra detect-and-replay round the second failover costs.
+    """
+    base = dict(kill_during_recovery=1, settle=60.0)
     base.update(overrides)
     return ChaosSettings(**base)
 
@@ -512,6 +540,49 @@ def run_chaos(
         cluster.after(
             at - now, lambda v=victim, d=dwell: disk_fault_storm(v, d)
         )
+
+    # -- kill-during-recovery watcher -------------------------------------
+    # Crashes a *recipient* of an in-flight recovery plan: whenever the
+    # recovery manager holds pinned regions, the servers those regions are
+    # currently assigned to are mid-replay -- killing one forces the
+    # cascading failover to re-partition the orphaned work.
+    if s.kill_during_recovery > 0 and cluster.rm is not None:
+
+        def recovery_killer():
+            kills = 0
+            try:
+                while kills < s.kill_during_recovery:
+                    yield cluster.kernel.timeout(0.25)
+                    pending = cluster.rm.pending_regions
+                    if not pending:
+                        continue
+                    hosts = {
+                        cluster.master.assignments.get(region)
+                        for region in pending
+                    }
+                    victims = [
+                        i
+                        for i, rs in enumerate(cluster.servers)
+                        if rs.addr in hosts and rs.alive and i not in restarting
+                    ]
+                    if not victims:
+                        continue
+                    victim = victims[rng.randrange(len(victims))]
+                    kills += 1
+                    note(
+                        f"kill during recovery: {cluster.servers[victim].addr} "
+                        f"(pending={sorted(pending)})"
+                    )
+                    crash_machine(victim)
+                    cluster.after(
+                        rng.uniform(2.0, 3.5),
+                        lambda v=victim: restart_machine(v),
+                    )
+            except Interrupt:
+                return
+
+        killer_proc = cluster.kernel.process(recovery_killer())
+        killer_proc.defuse()
 
     # -- storm ------------------------------------------------------------
     cluster.run_until(storm_end)
