@@ -37,6 +37,25 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
         help="synchronous store persistence (the fig2a baseline; disables "
              "the recovery middleware)",
     )
+    parser.add_argument(
+        "--queue-impl", choices=("calendar", "heap"), default="calendar",
+        help="kernel event-queue implementation (identical pop order; "
+             "calendar is the fast default, heap the reference)",
+    )
+    parser.add_argument(
+        "--queue-bucket-width", type=float, default=0.005, metavar="SECONDS",
+        help="calendar-queue bucket width in simulated seconds",
+    )
+    parser.add_argument(
+        "--flush-max-batch", type=int, default=1, metavar="N",
+        help="max txn-flush fragments coalesced into one batched RPC per "
+             "region server (1 = batching off)",
+    )
+    parser.add_argument(
+        "--flush-coalesce-window", type=float, default=0.0, metavar="SECONDS",
+        help="how long a client's per-server flush coalescer gathers "
+             "fragments before shipping a batch (0 = ship immediately)",
+    )
 
 
 def _emit_metrics(cluster: SimCluster, path: Optional[str]) -> None:
@@ -75,6 +94,10 @@ def _build(args: argparse.Namespace) -> SimCluster:
     config.workload.n_clients = args.clients
     config.kv.n_region_servers = args.servers
     config.kv.n_regions = args.regions
+    config.sim.queue_impl = getattr(args, "queue_impl", "calendar")
+    config.sim.queue_bucket_width = getattr(args, "queue_bucket_width", 0.005)
+    config.kv.flush_max_batch = getattr(args, "flush_max_batch", 1)
+    config.kv.flush_coalesce_window = getattr(args, "flush_coalesce_window", 0.0)
     if args.sync_wal:
         config.kv.wal_sync_mode = "sync"
         config.recovery.enabled = False
@@ -372,6 +395,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "workload": result.summary(),
     }
 
+    os.makedirs(args.out, exist_ok=True)
     taken = [
         int(m.group(1))
         for f in os.listdir(args.out)

@@ -26,9 +26,9 @@ from repro.config import ClusterConfig
 from repro.core import ClientRecoveryAgent, RecoveryManager, ServerRecoveryAgent
 from repro.dfs import DataNode, NameNode
 from repro.kvstore import KvClient, Master, RegionServer, SSTable
-from repro.kvstore.keys import Cell, row_key, split_points_for
+from repro.kvstore.keys import row_key, split_points_for
 from repro.kvstore.regionserver import _block_to_map
-from repro.kvstore.sstable import build_blocks, estimate_block_bytes
+from repro.kvstore.sstable import build_blocks_wire, estimate_block_bytes
 from repro.kvstore.wal import SYNC
 from repro.metrics.spans import tracer_for
 from repro.sim import Kernel, LatencyModel, Network, Node, Resource
@@ -64,7 +64,11 @@ class SimCluster:
     def __init__(self, config: Optional[ClusterConfig] = None) -> None:
         self.config = config or ClusterConfig()
         cfg = self.config
-        self.kernel = Kernel(seed=cfg.seed)
+        self.kernel = Kernel(
+            seed=cfg.seed,
+            queue_impl=cfg.sim.queue_impl,
+            bucket_width=cfg.sim.queue_bucket_width,
+        )
         self.net = Network(
             self.kernel,
             LatencyModel(
@@ -343,11 +347,10 @@ class SimCluster:
         for idx, rows in enumerate(partitions):
             region_id = f"{TABLE},{splits[idx]}"
             server = rs_by_addr[assignments[region_id]]
-            cells = [
-                Cell(row=row_key(i), column="f", version=0, value=f"init-{i}")
-                for i in rows
-            ]
-            index, blocks = build_blocks(cells, cfg.kv.rows_per_block)
+            # Wire tuples straight away (no Cell objects): this mints one
+            # entry per preloaded row, which dominates cluster setup time.
+            cells = [(row_key(i), "f", 0, f"init-{i}") for i in rows]
+            index, blocks = build_blocks_wire(cells, cfg.kv.rows_per_block)
             path = f"/data/{TABLE}/{splits[idx] or '_first'}/sst-preload-{idx}"
             records = [(("index", index), 16 * max(len(index), 1))]
             for block in blocks:
@@ -559,10 +562,10 @@ class SimCluster:
     def net_stats(self) -> dict:
         """Fabric counters: traffic, chaos losses/duplicates, retries.
 
-        Deprecated: thin shim over the fabric registry -- prefer
-        ``metrics_snapshot()["components"]["network:net"]``.
+        The flat ``counters`` map of the fabric's uniform snapshot
+        (``metrics_snapshot()["components"]["network:net"]``).
         """
-        return self.net.chaos_counters()
+        return dict(self.net.metrics()["counters"])
 
     def cluster_status(self) -> dict:
         """Assignment/liveness snapshot from the master.
@@ -587,14 +590,6 @@ class SimCluster:
         Deprecated: thin shim -- prefer ``status("rm")``.
         """
         return self.run(self.rpc("rm", "rm_status"))
-
-    def tm_stats(self) -> dict:
-        """Commit/log counters from the transaction manager.
-
-        Deprecated: thin shim -- prefer ``status("tm")`` or
-        ``metrics_snapshot()``.
-        """
-        return self.run(self.rpc("tm", "tm_stats"))
 
     def storage_stats(self) -> dict:
         """Storage-layer snapshot: per-disk IO/fault counters, read

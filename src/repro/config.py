@@ -15,6 +15,23 @@ from typing import Optional
 
 
 @dataclass
+class SimSettings:
+    """Discrete-event kernel tuning (never changes simulation results --
+    both event queues pop in identical ``(time, priority, seq)`` order)."""
+
+    #: Event-queue implementation: "calendar" (two-level bucketed calendar,
+    #: the default and the faster of the two on deep schedules) or "heap"
+    #: (single binary heap, the reference the property tests compare
+    #: against).
+    queue_impl: str = "calendar"
+    #: Calendar bucket width in simulated seconds.  Wide enough that a
+    #: bucket collects a few dozen entries, narrow enough that the active
+    #: bucket's heap stays small; the default is tuned on the standing
+    #: benchmark scenario.
+    queue_bucket_width: float = 0.005
+
+
+@dataclass
 class NetworkSettings:
     """One-way message delay model (switched 100 Mbps LAN) plus the chaos
     layer's fault knobs (all zero by default: a polite, loss-free LAN)."""
@@ -127,6 +144,16 @@ class KvSettings:
     #: Client-side operation timeout and retry pacing.
     client_op_timeout: float = 2.0
     client_retry_delay: float = 0.25
+    #: Max transactional-flush fragments coalesced into one batched RPC per
+    #: region server (``Node.call_batch``).  1 disables batching: every
+    #: fragment travels as its own ``txn_flush`` request (the calibrated
+    #: default schedule).
+    flush_max_batch: int = 1
+    #: How long a client's per-server flush coalescer waits after the first
+    #: queued fragment before shipping the batch, gathering fragments from
+    #: concurrent transactions on the same client.  Only meaningful with
+    #: ``flush_max_batch > 1``; 0 ships what is queued immediately.
+    flush_coalesce_window: float = 0.0
 
 
 @dataclass
@@ -166,6 +193,11 @@ class TxnSettings:
     #: original verdict instead of being re-certified (which would
     #: self-conflict and double-certify).
     commit_cache_size: int = 50_000
+    #: Ship group commits to logger shards through the batched RPC path
+    #: (``Node.call_batch`` + ``rpc_shard_append_batch``): one wire message
+    #: per group, one shard-side sync, per-record acks.  Off by default --
+    #: the plain ``shard_append`` call is the calibrated schedule.
+    shard_append_batch_rpc: bool = False
 
 
 @dataclass
@@ -213,6 +245,7 @@ class ClusterConfig:
     """Complete parameterisation of one simulated cluster + workload."""
 
     seed: int = 0
+    sim: SimSettings = field(default_factory=SimSettings)
     network: NetworkSettings = field(default_factory=NetworkSettings)
     dfs: DfsSettings = field(default_factory=DfsSettings)
     zk: ZkSettings = field(default_factory=ZkSettings)

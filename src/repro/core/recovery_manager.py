@@ -136,8 +136,15 @@ class RecoveryManager(ZkWatcherMixin, Node):
         self.alerts: List[dict] = []
         #: Registry behind all RM statistics (see ``metrics()``).
         self.registry = MetricsRegistry("rm", addr)
-        #: Deprecated dict-style view; prefer ``metrics()`` / ``registry``.
-        self.stats = self.registry.counter_view(
+        # Hot-path counters, held directly so increments skip the
+        # registry lookup.  Read them via ``metrics()["counters"]``.
+        (
+            self._n_client_recoveries,
+            self._n_server_region_recoveries,
+            self._n_replayed_write_sets,
+            self._n_replayed_fragments,
+            self._n_truncation_requests,
+        ) = self.registry.counters(
             "client_recoveries", "server_region_recoveries",
             "replayed_write_sets", "replayed_fragments",
             "truncation_requests",
@@ -246,7 +253,7 @@ class RecoveryManager(ZkWatcherMixin, Node):
         )
         if self.settings.truncate_log and self.global_tp > 0:
             self.cast(self.tm_addr, "truncate_log", up_to_ts=self.global_tp)
-            self.stats["truncation_requests"] += 1
+            self._n_truncation_requests.inc()
 
     def _ingest_clients(self, paths: List[str], snapshots: List[Optional[dict]]) -> None:
         seen = set()
@@ -404,14 +411,14 @@ class RecoveryManager(ZkWatcherMixin, Node):
                 yield from self.recovery_client.replay_write_set(
                     table, record["commit_ts"], cells
                 )
-            self.stats["replayed_write_sets"] += 1
+            self._n_replayed_write_sets.inc()
         # Replay complete: the dead client no longer constrains T_F.
         self.clients.pop(client_id, None)
         try:
             yield from self.zk.delete(f"{CLIENTS_DIR}/{client_id}")
         except Exception:
             pass
-        self.stats["client_recoveries"] += 1
+        self._n_client_recoveries.inc()
         span.end(write_sets=len(records))
 
     # ------------------------------------------------------------------
@@ -570,7 +577,7 @@ class RecoveryManager(ZkWatcherMixin, Node):
                     piggyback_tp=tp_failed,
                 )
                 replayed += 1
-                self.stats["replayed_fragments"] += 1
+                self._n_replayed_fragments.inc()
             replay_span.end(fragments=replayed)
         finally:
             if host_entry is not None:
@@ -591,7 +598,7 @@ class RecoveryManager(ZkWatcherMixin, Node):
             done_span = self._detect_spans.pop(region, None)
             if done_span is not None:
                 done_span.end(replayed=replayed)
-        self.stats["server_region_recoveries"] += 1
+        self._n_server_region_recoveries.inc()
         return {"replayed": replayed}
 
     def _release_pin(self, pinned_server: str) -> None:
@@ -657,7 +664,7 @@ class RecoveryManager(ZkWatcherMixin, Node):
                 if e.status != LIVE
             ),
             "alerts": len(self.alerts),
-            **self.stats,
+            **self.metrics()["counters"],
         }
 
     def rpc_status(self, sender: str) -> dict:

@@ -16,15 +16,47 @@ from typing import Any, Optional, Tuple
 WireCell = Tuple[str, str, int, Any]
 
 
-@dataclass(frozen=True)
 class Cell:
-    """One versioned value."""
+    """One versioned value.
 
-    row: str
-    column: str
-    version: int  # commit timestamp of the writing transaction
-    value: Any
-    tombstone: bool = False
+    A plain ``__slots__`` class rather than a (frozen) dataclass: cells
+    are minted by the tens of thousands on the load and flush paths, and
+    the frozen-dataclass ``object.__setattr__`` init is measurably slower.
+    """
+
+    __slots__ = ("row", "column", "version", "value", "tombstone")
+
+    def __init__(
+        self,
+        row: str,
+        column: str,
+        version: int,  # commit timestamp of the writing transaction
+        value: Any,
+        tombstone: bool = False,
+    ) -> None:
+        self.row = row
+        self.column = column
+        self.version = version
+        self.value = value
+        self.tombstone = tombstone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cell):
+            return NotImplemented
+        return (
+            self.row == other.row
+            and self.column == other.column
+            and self.version == other.version
+            and self.value == other.value
+            and self.tombstone == other.tombstone
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.row, self.column, self.version))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mark = " tombstone" if self.tombstone else ""
+        return f"Cell({self.row}/{self.column}@{self.version}={self.value!r}{mark})"
 
     def to_wire(self) -> WireCell:
         """Serialise for RPC/storage (tombstones travel as None values)."""
@@ -76,4 +108,8 @@ def row_key(index: int, key_width: int = 12) -> str:
     Fixed width keeps lexicographic order equal to numeric order, which the
     workload generators and region split points both rely on.
     """
+    if key_width == 12:
+        # Constant format string: the dynamic-width f-string below parses
+        # its format spec on every call, and this runs per workload op.
+        return "user%012d" % index
     return f"user{index:0{key_width}d}"

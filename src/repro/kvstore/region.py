@@ -108,4 +108,11 @@ class Region:
 
     def contains(self, row: str) -> bool:
         """Whether ``row`` belongs to this region."""
-        return self.descriptor.key_range.contains(row)
+        # Inlined half-open range check (== KeyRange.contains) -- this sits
+        # on the per-request routing path, and minting a KeyRange per call
+        # showed up in profiles.
+        descriptor = self.descriptor
+        if row < descriptor.start:
+            return False
+        end = descriptor.end
+        return end is None or row < end

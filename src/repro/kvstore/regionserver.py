@@ -67,10 +67,17 @@ BlockMap = Dict[Tuple[str, str], List[Tuple[int, Any]]]
 
 def _block_to_map(cells: List[WireCell]) -> BlockMap:
     out: BlockMap = {}
+    get = out.get
     for row, col, version, value in cells:
-        out.setdefault((row, col), []).append((version, value))
+        key = (row, col)
+        versions = get(key)
+        if versions is None:
+            out[key] = [(version, value)]
+        else:
+            versions.append((version, value))
     for versions in out.values():
-        versions.sort()
+        if len(versions) > 1:
+            versions.sort()
     return out
 
 
@@ -110,13 +117,24 @@ class RegionServer(ZkWatcherMixin, Node):
         self.extension: Optional[Any] = None
         self.started = False
         self._sst_seq = itertools.count()
+        # Host-side parse memo for immutable sstable blocks, keyed like the
+        # block cache but never cleared by crashes (see _cached_block).
+        self._map_memo: Dict[Tuple[str, int], BlockMap] = {}
         self._compacting: set = set()
         self._split_requested: set = set()
         self._epoch = 0
         #: Registry behind all server statistics (see ``metrics()``).
         self.registry = MetricsRegistry("regionserver", addr)
-        #: Deprecated dict-style view; prefer ``metrics()`` / ``registry``.
-        self.stats = self.registry.counter_view(
+        # Hot-path counters, held directly so increments skip the
+        # registry lookup.  Read them via ``metrics()["counters"]``.
+        (
+            self._n_gets,
+            self._n_fragments,
+            self._n_cells_applied,
+            self._n_flushes,
+            self._n_compactions,
+            self._n_replay_salvages,
+        ) = self.registry.counters(
             "gets", "fragments", "cells_applied", "flushes", "compactions",
             "replay_salvages",
         )
@@ -301,7 +319,7 @@ class RegionServer(ZkWatcherMixin, Node):
                     lambda p=path: self.dfs.read_all_salvaged(p)
                 )
                 if not salvage.clean:
-                    self.stats["replay_salvages"] += 1
+                    self._n_replay_salvages.inc()
                 for payload, _nbytes in records:
                     _region_id, txn_ts, cells = payload
                     for wire in cells:
@@ -425,7 +443,7 @@ class RegionServer(ZkWatcherMixin, Node):
                     )
                 )
                 if not salvage.clean:
-                    self.stats["replay_salvages"] += 1
+                    self._n_replay_salvages.inc()
                 cells_in_segment = 0
                 for payload in records:
                     _region_id, txn_ts, cells = payload
@@ -486,7 +504,7 @@ class RegionServer(ZkWatcherMixin, Node):
         if not region.contains(row):
             raise WrongRegionServer(f"row {row!r}", self.addr)
         yield from self.cpu.use(self.settings.op_service_time)
-        self.stats["gets"] += 1
+        self._n_gets.inc()
 
         best: Optional[Tuple[int, Any]] = None
         hit = region.memstore.get(row, column, max_version)
@@ -534,7 +552,15 @@ class RegionServer(ZkWatcherMixin, Node):
                 return None
             raise
         yield from self.cpu.use(self.settings.cache_miss_penalty)
-        block_map = _block_to_map(cells)
+        # The simulated miss penalty above is charged on every cache miss;
+        # the Python-side parse below is memoised separately because sstable
+        # blocks are immutable -- re-missing the same block (cache wiped by
+        # a crash) must pay the simulated cost again, but not the host cost.
+        block_map = self._map_memo.get(key)
+        if block_map is None:
+            if len(self._map_memo) > 8192:
+                self._map_memo.clear()
+            block_map = self._map_memo[key] = _block_to_map(cells)
         self.cache.put(key, block_map)
         return block_map
 
@@ -643,8 +669,8 @@ class RegionServer(ZkWatcherMixin, Node):
         seq = self.wal.append(region_id, txn_ts, cells)
         for wire in cells:
             region.memstore.put(Cell.from_wire(wire))
-        self.stats["fragments"] += 1
-        self.stats["cells_applied"] += len(cells)
+        self._n_fragments.inc()
+        self._n_cells_applied.inc(len(cells))
 
         if self.wal.mode == SYNC:
             yield from self.wal.sync_through(seq)
@@ -655,6 +681,28 @@ class RegionServer(ZkWatcherMixin, Node):
                 region_id, txn_ts, len(cells), seq, piggyback_tp
             )
         return {"region": region_id, "seq": seq}
+
+    def rpc_txn_flush_batch(self, sender: str, items: List[dict]):
+        """Batch-aware apply: N coalesced ``txn_flush`` fragments, one RPC.
+
+        Reached through :meth:`~repro.sim.node.Node.call_batch` -- the
+        whole batch arrives as one scheduled network event and leaves as
+        one response carrying per-item outcomes.  Each fragment runs
+        through the exact :meth:`rpc_txn_flush` path (same WAL append,
+        same simulated CPU charge), and a fragment that fails -- a stale
+        grouping after a split, an offline region -- fails alone instead
+        of poisoning its batch-mates.
+        """
+        results = []
+        for item in items:
+            try:
+                ack = yield from self.rpc_txn_flush(sender, **item)
+                results.append((True, ack))
+            except Interrupt:
+                raise
+            except Exception as exc:
+                results.append((False, repr(exc)))
+        return results
 
     # ------------------------------------------------------------------
     # memstore flushing
@@ -756,7 +804,7 @@ class RegionServer(ZkWatcherMixin, Node):
             return
         region.sstables.append(sstable)
         region.memstore.discard_flush_snapshot()
-        self.stats["flushes"] += 1
+        self._n_flushes.inc()
 
     def _compact_region(self, region: Region):
         """Size-tiered minor compaction: merge the region's store files.
@@ -809,7 +857,7 @@ class RegionServer(ZkWatcherMixin, Node):
                 # both children have compacted, as in HBase.
                 if old.path.startswith(own_dir):
                     yield from self.dfs.delete(old.path)
-            self.stats["compactions"] += 1
+            self._n_compactions.inc()
         except Interrupt:
             raise
         except Exception:
@@ -824,21 +872,6 @@ class RegionServer(ZkWatcherMixin, Node):
         """Region ids currently hosted (any state)."""
         return sorted(self.regions)
 
-    def rpc_server_status(self, sender: str) -> dict:
-        """Operational snapshot for tooling and tests.
-
-        Deprecated: thin shim over the registry -- prefer ``rpc_status``,
-        which returns the uniform component envelope.
-        """
-        return {
-            "addr": self.addr,
-            "regions": {rid: r.state for rid, r in self.regions.items()},
-            "wal_pending": self.wal.pending,
-            "cache_blocks": len(self.cache),
-            "cache_hit_rate": self.cache.hit_rate,
-            "stats": dict(self.stats),
-        }
-
     def rpc_status(self, sender: str) -> dict:
         """The uniform component status envelope (component/addr/metrics)."""
         return status_envelope(
@@ -847,4 +880,6 @@ class RegionServer(ZkWatcherMixin, Node):
             self.metrics(),
             regions={rid: r.state for rid, r in self.regions.items()},
             wal_pending=self.wal.pending,
+            cache_blocks=len(self.cache),
+            cache_hit_rate=self.cache.hit_rate,
         )

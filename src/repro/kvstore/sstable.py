@@ -24,22 +24,34 @@ def build_blocks(
 
     Returns (index of first-row-keys, list of wire-cell blocks).
     """
+    return build_blocks_wire([cell.to_wire() for cell in cells], rows_per_block)
+
+
+def build_blocks_wire(
+    wire_cells: Sequence[WireCell], rows_per_block: int
+) -> Tuple[List[str], List[List[WireCell]]]:
+    """:func:`build_blocks` over already-serialised cells.
+
+    Bulk-load paths mint wire tuples directly (no :class:`Cell` objects);
+    this entry point spares them a round-trip through the object form.
+    """
     index: List[str] = []
     blocks: List[List[WireCell]] = []
     current: List[WireCell] = []
     rows_in_block = 0
     last_row: Optional[str] = None
-    for cell in cells:
-        if cell.row != last_row:
-            last_row = cell.row
+    for wire in wire_cells:
+        row = wire[0]
+        if row != last_row:
+            last_row = row
             rows_in_block += 1
             if rows_in_block > rows_per_block:
                 blocks.append(current)
                 current = []
                 rows_in_block = 1
         if not current:
-            index.append(cell.row)
-        current.append(cell.to_wire())
+            index.append(row)
+        current.append(wire)
     if current:
         blocks.append(current)
     return index, blocks

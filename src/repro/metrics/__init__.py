@@ -5,7 +5,6 @@ table/chart rendering for the CLI and benchmark harnesses."""
 from repro.metrics.histogram import LatencyHistogram
 from repro.metrics.registry import (
     Counter,
-    CounterView,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -25,7 +24,6 @@ from repro.metrics.timeseries import TimeSeries
 
 __all__ = [
     "Counter",
-    "CounterView",
     "Gauge",
     "Histogram",
     "LatencyHistogram",

@@ -2,10 +2,11 @@
 
 Every simulated component (transaction manager, region server, clients,
 network, recovery manager, ...) owns one :class:`MetricsRegistry`.  The
-registry is the *single* source of truth for that component's statistics;
-the legacy ad-hoc ``stats`` dicts are thin views
-(:class:`CounterView`) over the same counters, kept so existing call
-sites and tests continue to work unchanged.
+registry is the *single* source of truth for that component's statistics:
+hot paths hold direct references to :class:`Counter` objects and call
+``inc()``; everything else reads the uniform :meth:`MetricsRegistry.snapshot`
+shape.  (The old dict-like counter-view shim is gone -- see
+docs/OBSERVABILITY.md.)
 
 Design constraints:
 
@@ -29,7 +30,7 @@ series, mirroring the familiar Prometheus data model::
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, MutableMapping, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.metrics.histogram import LatencyHistogram
 
@@ -38,6 +39,8 @@ LabelKey = Tuple[Tuple[str, str], ...]
 
 def _label_key(labels: Dict[str, object]) -> LabelKey:
     """Normalise a label dict into a hashable, deterministically ordered key."""
+    if not labels:
+        return ()
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
@@ -157,9 +160,14 @@ class MetricsRegistry:
             histogram = self._histograms[key] = Histogram(name, key[1])
         return histogram
 
-    def counter_view(self, *names: str) -> "CounterView":
-        """A dict-like view over named counters (legacy ``stats`` shim)."""
-        return CounterView(self, names)
+    def counters(self, *names: str) -> Tuple[Counter, ...]:
+        """Materialise (and return) unlabelled counters for hot paths.
+
+        Components grab their counters once at construction time and call
+        ``inc()`` on the returned objects directly -- no per-increment
+        registry lookup on the hot path.
+        """
+        return tuple(self.counter(name) for name in names)
 
     # -- export -----------------------------------------------------------
 
@@ -192,44 +200,6 @@ class MetricsRegistry:
             "gauges": {k: gauges[k] for k in sorted(gauges)},
             "histograms": {k: histograms[k] for k in sorted(histograms)},
         }
-
-
-class CounterView(MutableMapping):
-    """Dict-like facade over registry counters.
-
-    Lets long-standing call sites (``self.stats["commits"] += 1``, tests
-    asserting ``stats["aborts"] == 0``) keep working while the registry
-    holds the actual values.  Deprecated: new code should use
-    :meth:`MetricsRegistry.counter` directly.
-    """
-
-    def __init__(self, registry: MetricsRegistry, names: Tuple[str, ...]) -> None:
-        self._registry = registry
-        self._names = list(names)
-        for name in names:
-            registry.counter(name)  # materialise so iteration order is fixed
-
-    def __getitem__(self, name: str) -> int:
-        if name not in self._names:
-            raise KeyError(name)
-        return self._registry.counter(name).value
-
-    def __setitem__(self, name: str, value: int) -> None:
-        if name not in self._names:
-            self._names.append(name)
-        self._registry.counter(name).set(value)
-
-    def __delitem__(self, name: str) -> None:
-        raise TypeError("registry-backed stats cannot delete counters")
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(self._names)
-
-    def __len__(self) -> int:
-        return len(self._names)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"CounterView({dict(self)})"
 
 
 def status_envelope(

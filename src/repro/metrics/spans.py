@@ -111,6 +111,10 @@ class SpanTracer:
         self._stage_hist: Dict[str, LatencyHistogram] = {}
         self._stage_count: Dict[str, int] = {}
         self._truncated: List[Span] = []
+        # Running duration totals per (txn, stage), maintained at finish
+        # time so sum_durations() never scans the finished list (it is
+        # called on every commit, and a scan is O(total spans)).
+        self._txn_stage_sums: Dict[tuple, float] = {}
 
     # -- recording --------------------------------------------------------
 
@@ -141,7 +145,12 @@ class SpanTracer:
     def _finish(self, span: Span) -> None:
         span.end_time = self._clock()
         self._open.pop(span.span_id, None)
-        self._record_duration(span.stage, span.end_time - span.start)
+        duration = span.end_time - span.start
+        self._record_duration(span.stage, duration)
+        if span.txn is not None:
+            key = (span.txn, span.stage)
+            sums = self._txn_stage_sums
+            sums[key] = sums.get(key, 0.0) + duration
         self._finished.append(span)
         if len(self._finished) > self._max_records:
             del self._finished[: len(self._finished) - self._max_records]
@@ -179,6 +188,10 @@ class SpanTracer:
         self._next_id += 1
         span.end_time = now
         self._record_duration(stage, duration)
+        if txn is not None:
+            key = (txn, stage)
+            sums = self._txn_stage_sums
+            sums[key] = sums.get(key, 0.0) + duration
         self._finished.append(span)
         if len(self._finished) > self._max_records:
             del self._finished[: len(self._finished) - self._max_records]
@@ -231,13 +244,13 @@ class SpanTracer:
         return out
 
     def sum_durations(self, txn: str, stages: Iterable[str]) -> float:
-        """Total finished-span time for ``txn`` across ``stages``."""
-        wanted = set(stages)
-        return sum(
-            s.end_time - s.start
-            for s in self._finished
-            if s.txn == txn and s.stage in wanted
-        )
+        """Total finished-span time for ``txn`` across ``stages``.
+
+        O(len(stages)): reads the running per-(txn, stage) totals kept by
+        the finish path instead of scanning every finished span.
+        """
+        sums = self._txn_stage_sums
+        return sum(sums.get((txn, stage), 0.0) for stage in stages)
 
     def stage_histogram(self, stage: str) -> Optional[LatencyHistogram]:
         """The per-stage duration histogram, or None if never recorded."""
@@ -272,6 +285,7 @@ class SpanTracer:
         self._truncated.clear()
         self._stage_hist.clear()
         self._stage_count.clear()
+        self._txn_stage_sums.clear()
 
 
 def tracer_for(kernel) -> SpanTracer:

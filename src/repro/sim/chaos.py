@@ -682,7 +682,7 @@ def run_chaos(
     except Exception as exc:  # a wedged cluster: report, don't explode
         report.violations = [f"audit aborted: {exc!r}"]
     report.net = cluster.net_stats()
-    report.tm = cluster.tm_stats()
+    report.tm = cluster.status("tm")
     report.storage = cluster.storage_stats()
 
     # -- consistency oracle -----------------------------------------------

@@ -19,8 +19,7 @@ from __future__ import annotations
 
 import itertools
 import typing
-from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Optional, Set
+from typing import Any, Dict, FrozenSet, List, Optional, Set
 
 from repro.errors import SimulationError
 from repro.metrics.registry import MetricsRegistry
@@ -30,36 +29,60 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.node import Node
 
 
-def _fabric_counter(name: str, doc: str) -> property:
-    """A fabric counter attribute backed by the network's registry.
+#: Fabric counters: plain int attributes on :class:`Network`, mirrored into
+#: the registry by :meth:`Network.metrics`.  Kept as raw ints (not
+#: :class:`~repro.metrics.registry.Counter` objects) because the send path
+#: bumps several of them per message -- attribute increments stay in C.
+_FABRIC_COUNTERS = (
+    "messages_sent", "messages_dropped", "messages_lost",
+    "messages_duplicated", "delay_spikes", "rpc_retries",
+    "duplicates_suppressed",
+)
 
-    Exposed as a plain int attribute so the long-standing mutation idiom
-    (``net.rpc_retries += 1`` from retry loops) keeps working while the
-    value lives in the :class:`MetricsRegistry`.
+
+class Message:
+    """One network message (RPC request or response).
+
+    Instances are pooled by the fabric (see :meth:`Network.message`):
+    ``_refs`` counts outstanding users -- one per scheduled delivery, plus
+    one while a generator RPC handler still holds the request -- and the
+    object is recycled when the count hits zero.  Payload dicts are never
+    pooled; the reference is dropped at release time.
     """
 
-    def fget(self: "Network") -> int:
-        return self.registry.counter(name).value
+    __slots__ = (
+        "src", "dst", "kind", "req_id", "method", "payload",
+        "ok", "error", "size", "_refs",
+    )
 
-    def fset(self: "Network", value: int) -> None:
-        self.registry.counter(name).set(value)
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        kind: str,  # "request" | "response"
+        req_id: int,
+        method: str,
+        payload: Dict[str, Any],
+        ok: bool = True,
+        error: Optional[str] = None,
+        size: int = 256,  # bytes, for the bandwidth term
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.req_id = req_id
+        self.method = method
+        self.payload = payload
+        self.ok = ok
+        self.error = error
+        self.size = size
+        self._refs = 0
 
-    return property(fget, fset, doc=doc)
-
-
-@dataclass
-class Message:
-    """One network message (RPC request or response)."""
-
-    src: str
-    dst: str
-    kind: str  # "request" | "response"
-    req_id: int
-    method: str
-    payload: Dict[str, Any]
-    ok: bool = True
-    error: Optional[str] = None
-    size: int = 256  # bytes, for the bandwidth term
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message({self.kind} {self.src}->{self.dst} "
+            f"#{self.req_id} {self.method})"
+        )
 
 
 class LatencyModel:
@@ -94,14 +117,13 @@ class Network:
         self._rng = kernel.rng.substream("network")
         #: Registry behind every fabric counter (see ``metrics()``).
         self.registry = MetricsRegistry("network", "net")
-        for name in (
-            "messages_sent", "messages_dropped", "messages_lost",
-            "messages_duplicated", "delay_spikes", "rpc_retries",
-            "duplicates_suppressed",
-        ):
+        for name in _FABRIC_COUNTERS:
             self.registry.counter(name)
+            setattr(self, name, 0)
         #: Optional message tracer (see repro.metrics.tracing).
         self.tracer = None
+        # Free list of recycled Message shells (see ``message()``).
+        self._pool: List[Message] = []
         # ----- chaos layer (all off by default) ------------------------
         #: Probability that a message vanishes in flight.
         self.loss_probability = 0.0
@@ -119,26 +141,14 @@ class Network:
         # does not shift the latency-jitter sequence of `_rng`.
         self._chaos_rng = kernel.rng.substream("network.chaos")
 
-    messages_sent = _fabric_counter(
-        "messages_sent", "Messages injected into the fabric.")
-    messages_dropped = _fabric_counter(
-        "messages_dropped", "Messages dropped by partitions or dead nodes.")
-    messages_lost = _fabric_counter(
-        "messages_lost", "Messages lost by the chaos layer.")
-    messages_duplicated = _fabric_counter(
-        "messages_duplicated", "Messages duplicated by the chaos layer.")
-    delay_spikes = _fabric_counter(
-        "delay_spikes", "Heavy-tail delay spikes applied by the chaos layer.")
-    rpc_retries = _fabric_counter(
-        "rpc_retries",
-        "Application-level retries routed through this fabric (counted by "
-        "Node.call_with_retry and the client retry loops).")
-    duplicates_suppressed = _fabric_counter(
-        "duplicates_suppressed",
-        "Duplicate requests suppressed by receivers' transport dedup.")
-
     def metrics(self) -> dict:
-        """Uniform registry snapshot for the network fabric."""
+        """Uniform registry snapshot for the network fabric.
+
+        The hot-path fabric counters live as plain int attributes; they
+        are mirrored into the registry here, at snapshot time.
+        """
+        for name in _FABRIC_COUNTERS:
+            self.registry.counter(name).set(getattr(self, name))
         return self.registry.snapshot()
 
     # ------------------------------------------------------------------
@@ -179,22 +189,6 @@ class Network:
         else:
             self._degraded.pop(addr, None)
 
-    def chaos_counters(self) -> Dict[str, int]:
-        """Fabric-level counters for chaos reports and metrics.
-
-        Deprecated: thin shim over the registry -- prefer :meth:`metrics`,
-        which returns the uniform component snapshot shape.
-        """
-        return {
-            "messages_sent": self.messages_sent,
-            "messages_dropped": self.messages_dropped,
-            "messages_lost": self.messages_lost,
-            "messages_duplicated": self.messages_duplicated,
-            "delay_spikes": self.delay_spikes,
-            "rpc_retries": self.rpc_retries,
-            "duplicates_suppressed": self.duplicates_suppressed,
-        }
-
     # ------------------------------------------------------------------
     # membership
     # ------------------------------------------------------------------
@@ -231,10 +225,50 @@ class Network:
 
     def reachable(self, src: str, dst: str) -> bool:
         """Whether a message from ``src`` can currently reach ``dst``."""
-        if frozenset((src, dst)) in self._partitions:
+        # No-partition fast path: skip the frozenset allocation entirely.
+        if self._partitions and frozenset((src, dst)) in self._partitions:
             return False
         node = self.nodes.get(dst)
         return node is not None and node.alive
+
+    # ------------------------------------------------------------------
+    # message pool
+    # ------------------------------------------------------------------
+    def message(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        req_id: int,
+        method: str,
+        payload: Dict[str, Any],
+        ok: bool = True,
+        error: Optional[str] = None,
+        size: int = 256,
+    ) -> Message:
+        """A :class:`Message`, recycled from the pool when one is free."""
+        pool = self._pool
+        if pool:
+            msg = pool.pop()
+            msg.src = src
+            msg.dst = dst
+            msg.kind = kind
+            msg.req_id = req_id
+            msg.method = method
+            msg.payload = payload
+            msg.ok = ok
+            msg.error = error
+            msg.size = size
+            msg._refs = 0
+            return msg
+        return Message(src, dst, kind, req_id, method, payload, ok, error, size)
+
+    def _release(self, message: Message) -> None:
+        """Drop one reference; recycle the shell when nobody holds it."""
+        message._refs -= 1
+        if message._refs == 0 and len(self._pool) < 256:
+            message.payload = None  # never pool payload dicts
+            self._pool.append(message)
 
     # ------------------------------------------------------------------
     # delivery
@@ -256,17 +290,30 @@ class Network:
         with per-node degradation multiplying every delay.
         """
         self.messages_sent += 1
-        if self.tracer is not None:
-            self.tracer.record(
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record(
                 self.kernel.now, "send", message.src, message.dst, message.method
             )
-        if not self.reachable(message.src, message.dst):
+        # Inlined reachable() -- once per message, and send() is one of the
+        # hottest functions in the simulator.
+        node = self.nodes.get(message.dst)
+        if (
+            node is None
+            or not node.alive
+            or (
+                self._partitions
+                and frozenset((message.src, message.dst)) in self._partitions
+            )
+        ):
             self.messages_dropped += 1
-            if self.tracer is not None:
-                self.tracer.record(
+            if tracer is not None:
+                tracer.record(
                     self.kernel.now, "drop", message.src, message.dst,
                     message.method,
                 )
+            message._refs = 1
+            self._release(message)
             return
         chaos = self._chaos_rng
         if self.loss_probability > 0.0 and chaos.random() < self.loss_probability:
@@ -276,6 +323,8 @@ class Network:
                     self.kernel.now, "lose", message.src, message.dst,
                     message.method,
                 )
+            message._refs = 1
+            self._release(message)
             return
         copies = 1
         if (
@@ -289,29 +338,57 @@ class Network:
             degradation = self._degraded.get(message.src, 1.0) * self._degraded.get(
                 message.dst, 1.0
             )
+        # Both chaos copies share one Message object; each scheduled
+        # delivery holds one reference until it lands (or is dropped).
+        message._refs = copies
+        call_later = self.kernel.call_later
+        deliver = self._deliver
+        latency = self.latency
+        spike_probability = self.delay_spike_probability
+        plain = type(latency) is LatencyModel and latency.mean_latency > 0
         for _copy in range(copies):
-            delay = self.latency.sample(self._rng, message.size)
-            if (
-                self.delay_spike_probability > 0.0
-                and chaos.random() < self.delay_spike_probability
-            ):
+            if plain:
+                # LatencyModel.sample() inlined with identical arithmetic
+                # and draw order (bit-identical samples); subclassed or
+                # zero-mean models take the call.
+                mean = latency.mean_latency
+                jitter = latency.jitter_fraction
+                low = mean * (1.0 - jitter)
+                high = mean * (1.0 + jitter)
+                delay = low + (high - low) * self._rng.random()
+                bandwidth = latency.bandwidth_bytes_per_s
+                if bandwidth > 0:
+                    delay += message.size / bandwidth
+            else:
+                delay = latency.sample(self._rng, message.size)
+            if spike_probability > 0.0 and chaos.random() < spike_probability:
                 self.delay_spikes += 1
                 delay *= self.delay_spike_factor
-            arrival = self.kernel.timeout(delay * degradation)
-            arrival.callbacks.append(lambda _ev, m=message: self._deliver(m))
+            call_later(delay * degradation, deliver, message)
 
     def _deliver(self, message: Message) -> None:
-        if not self.reachable(message.src, message.dst):
+        # Inlined reachable(): this runs once per in-flight message.
+        node = self.nodes.get(message.dst)
+        if (
+            node is None
+            or not node.alive
+            or (
+                self._partitions
+                and frozenset((message.src, message.dst)) in self._partitions
+            )
+        ):
             self.messages_dropped += 1
             if self.tracer is not None:
                 self.tracer.record(
                     self.kernel.now, "drop", message.src, message.dst,
                     message.method,
                 )
+            self._release(message)
             return
         if self.tracer is not None:
             self.tracer.record(
                 self.kernel.now, "deliver", message.src, message.dst,
                 message.method,
             )
-        self.nodes[message.dst]._on_message(message)
+        node._on_message(message)
+        self._release(message)

@@ -14,7 +14,7 @@ import typing
 from typing import Any, Generator, Optional
 
 from repro.errors import ScheduleError
-from repro.sim.events import Event, Interrupt, URGENT
+from repro.sim.events import Event, Interrupt, PENDING, URGENT, _Callback
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Kernel
@@ -25,10 +25,10 @@ ProcGen = Generator[Event, Any, Any]
 class Process(Event):
     """A running generator, resumable on events, interruptible."""
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "_name", "_resume")
 
     def __init__(
-        self, kernel: "Kernel", generator: ProcGen, name: Optional[str] = None
+        self, kernel: "Kernel", generator: ProcGen, name: Any = None
     ) -> None:
         if not isinstance(generator, types.GeneratorType):
             raise ScheduleError(
@@ -37,13 +37,29 @@ class Process(Event):
         super().__init__(kernel)
         self._generator = generator
         self._target: Optional[Event] = None
-        self.name = name or generator.__name__
-        # Kick the generator off via an already-succeeded initialisation
-        # event so that the process body runs from the kernel loop, never
-        # synchronously inside the caller.
-        init = Event(kernel)
-        init.callbacks.append(self._resume)
-        init.succeed(None, priority=URGENT)
+        # ``name`` may be a tuple of parts, joined lazily by the ``name``
+        # property: processes are spawned on the RPC hot path and most
+        # names are only ever read in error messages and repr.
+        self._name = name if name is not None else generator.__name__
+        # One bound method reused for every wait: the resume trampoline is
+        # registered as a callback tens of thousands of times per run, and
+        # each implicit ``self._resume`` lookup would mint a fresh bound
+        # method object.
+        self._resume = self._do_resume
+        # Kick the generator off from the kernel loop, never synchronously
+        # inside the caller.  A scheduled callback with a None outcome is
+        # schedule-identical to the old already-succeeded init event (one
+        # sequence number, URGENT priority) without the Event machinery.
+        kernel._seq = seq = kernel._seq + 1
+        kernel._queue.push((kernel.now, URGENT, seq, _Callback(self._resume, None)))
+
+    @property
+    def name(self) -> str:
+        """Process name (joins lazily when spawned with name parts)."""
+        n = self._name
+        if type(n) is tuple:
+            n = self._name = "".join(n)
+        return n
 
     @property
     def is_alive(self) -> bool:
@@ -75,26 +91,28 @@ class Process(Event):
         wakeup.callbacks.append(self._resume)
         wakeup.fail(Interrupt(cause), priority=URGENT)
 
-    def _resume(self, event: Event) -> None:
+    def _do_resume(self, event: Optional[Event]) -> None:
         """Advance the generator with the outcome of ``event``."""
-        if self.triggered:
+        if self._value is not PENDING:
             # A stray wakeup after termination: an interrupt can land while
             # the process had already advanced onto a new wait target whose
             # event then fires too.  The interrupt consumed the process;
             # drop the late resume.
-            if event is not None and not event.ok:
-                event.defuse()
+            if event is not None and not event._ok:
+                event._defused = True
             return
         self._target = None
+        generator = self._generator
+        send = generator.send
         while True:
             try:
                 if event is None:
-                    nxt = self._generator.send(None)
-                elif event.ok:
-                    nxt = self._generator.send(event.value)
+                    nxt = send(None)
+                elif event._ok:
+                    nxt = send(event._value)
                 else:
-                    event.defuse()
-                    nxt = self._generator.throw(event.value)
+                    event._defused = True
+                    nxt = generator.throw(event._value)
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
@@ -103,7 +121,9 @@ class Process(Event):
                 self.kernel._note_process_failure(self, exc)
                 return
 
-            if not isinstance(nxt, Event):
+            try:
+                callbacks = nxt.callbacks
+            except AttributeError:
                 exc2 = ScheduleError(
                     f"process {self.name!r} yielded non-event {nxt!r}"
                 )
@@ -111,11 +131,11 @@ class Process(Event):
                 self.kernel._note_process_failure(self, exc2)
                 return
 
-            if nxt.callbacks is None:
+            if callbacks is None:
                 # Already processed: resume immediately with its outcome.
                 event = nxt
                 continue
-            nxt.callbacks.append(self._resume)
+            callbacks.append(self._resume)
             self._target = nxt
             return
 

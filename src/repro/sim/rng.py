@@ -42,7 +42,9 @@ class SeededRng(random.Random):
             return 0.0
         low = mean * (1.0 - jitter_fraction)
         high = mean * (1.0 + jitter_fraction)
-        return self.uniform(low, high)
+        # uniform(low, high) inlined (hot: once per message) with the exact
+        # same arithmetic, so samples stay bit-identical.
+        return low + (high - low) * self.random()
 
     def exponential(self, mean: float) -> float:
         """Exponential inter-arrival sample with the given mean."""

@@ -69,10 +69,14 @@ class TxnClient:
         self._local_ids = itertools.count(1)
         #: Registry behind all client statistics (see ``metrics()``).
         self.registry = MetricsRegistry("txn_client", self.client_id)
-        #: Deprecated dict-style view; prefer ``metrics()`` / ``registry``.
-        self.stats = self.registry.counter_view(
-            "begun", "committed", "aborted", "flushed"
-        )
+        # Hot-path counters, held directly so increments skip the
+        # registry lookup.  Read them via ``metrics()["counters"]``.
+        (
+            self._n_begun,
+            self._n_committed,
+            self._n_aborted,
+            self._n_flushed,
+        ) = self.registry.counters("begun", "committed", "aborted", "flushed")
         self._tracer = tracer_for(host.kernel)
 
     def metrics(self) -> dict:
@@ -92,7 +96,7 @@ class TxnClient:
             self.tm_addr, "begin", policy=self.retry_policy, timeout=10.0,
             client_id=self.client_id,
         )
-        self.stats["begun"] += 1
+        self._n_begun.inc()
         ctx = TxnContext(
             txn_id=reply["txn_id"],
             start_ts=reply["start_ts"],
@@ -192,7 +196,7 @@ class TxnClient:
         ctx.abort_reason = "application abort"
         if self.recorder is not None:
             self.recorder.note_abort(ctx, ctx.abort_reason)
-        self.stats["aborted"] += 1
+        self._n_aborted.inc()
         yield from self.host.call_with_retry(
             self.tm_addr, "abort", policy=self.retry_policy, timeout=10.0,
             client_id=self.client_id, txn_id=ctx.txn_id,
@@ -241,7 +245,7 @@ class TxnClient:
             ctx.abort_reason = f"conflict on {reply.get('conflict_key')}"
             if self.recorder is not None:
                 self.recorder.note_abort(ctx, ctx.abort_reason)
-            self.stats["aborted"] += 1
+            self._n_aborted.inc()
             span.end(outcome="aborted")
             raise TxnConflict(ctx.txn_id, tuple(reply.get("conflict_key") or ()))
 
@@ -250,7 +254,7 @@ class TxnClient:
             ctx.transition(COMMITTED)
             if self.recorder is not None:
                 self.recorder.note_commit(ctx, read_only=True)
-            self.stats["committed"] += 1
+            self._n_committed.inc()
             self._end_commit_span(span, txn_key)
             return ctx
 
@@ -263,7 +267,7 @@ class TxnClient:
                 self.recorder.note_commit(ctx)
             ctx.transition(FLUSHED)
             self.host.cast(self.tm_addr, "flushed", commit_ts=ctx.commit_ts)
-            self.stats["committed"] += 1
+            self._n_committed.inc()
             self._end_commit_span(span, txn_key)
             return ctx
 
@@ -273,7 +277,7 @@ class TxnClient:
         ctx.transition(COMMITTED)
         if self.recorder is not None:
             self.recorder.note_commit(ctx)
-        self.stats["committed"] += 1
+        self._n_committed.inc()
         self._end_commit_span(span, txn_key)
         flush_proc = self.host.spawn(
             self._flush_after_commit(ctx, parent=span),
@@ -354,7 +358,7 @@ class TxnClient:
         except Interrupt:
             raise  # client crashed mid-flush: the recovery manager's case
         ctx.transition(FLUSHED)
-        self.stats["flushed"] += 1
+        self._n_flushed.inc()
         # Report flush completion to the TM (drives the flushed-prefix
         # snapshot in "flushed" visibility mode; a no-op otherwise).
         self.host.cast(self.tm_addr, "flushed", commit_ts=ctx.commit_ts)

@@ -61,8 +61,15 @@ class TransactionManager(Node):
         self._txn_ids = itertools.count(1)
         #: Registry behind all TM statistics (see ``metrics()``).
         self.registry = MetricsRegistry("tm", addr)
-        #: Deprecated dict-style view; prefer ``metrics()`` / ``registry``.
-        self.stats = self.registry.counter_view(
+        # Hot-path counters, held directly so increments skip the
+        # registry lookup.  Read them via ``metrics()["counters"]``.
+        (
+            self._n_begins,
+            self._n_commits,
+            self._n_aborts,
+            self._n_read_only,
+            self._n_duplicate_commits,
+        ) = self.registry.counters(
             "begins", "commits", "aborts", "read_only", "duplicate_commits"
         )
         self._tracer = tracer_for(kernel)
@@ -101,7 +108,7 @@ class TransactionManager(Node):
         in-flight deferred flush.
         """
         yield from self.cpu.use(self.settings.op_service_time)
-        self.stats["begins"] += 1
+        self._n_begins.inc()
         if self.settings.snapshot_visibility == "flushed":
             start_ts = self._visible_ts
         else:
@@ -131,13 +138,13 @@ class TransactionManager(Node):
         key = (client_id, txn_id)
         cached = self._decisions.get(key)
         if cached is not None:
-            self.stats["duplicate_commits"] += 1
+            self._n_duplicate_commits.inc()
             return dict(cached)
         gate = self._deciding.get(key)
         if gate is not None:
             # The first request is still certifying or waiting on the
             # group-commit sync; piggyback on its outcome.
-            self.stats["duplicate_commits"] += 1
+            self._n_duplicate_commits.inc()
             reply = yield gate
             return dict(reply)
         if client_id in self._fenced:
@@ -145,7 +152,7 @@ class TransactionManager(Node):
             # may enter the log anymore, or the recovery replay that
             # already fetched it would miss the record forever.  The
             # verdict is cached so duplicates stay consistent.
-            self.stats["aborts"] += 1
+            self._n_aborts.inc()
             self.registry.counter("fenced_commits").inc()
             reply = {"status": "aborted", "conflict_key": None, "fenced": True}
             self._decisions[key] = reply
@@ -195,20 +202,20 @@ class TransactionManager(Node):
         certify_span = self._tracer.begin("commit.certify", txn=txn_key)
         yield from self.cpu.use(self.settings.op_service_time)
         if not writes:
-            self.stats["read_only"] += 1
+            self._n_read_only.inc()
             certify_span.end(outcome="read_only")
             return {"status": "committed", "commit_ts": start_ts, "read_only": True}
 
         keys = [(table, row, column) for table, row, column, _value in writes]
         conflict = self.certifier.certify(start_ts, keys)
         if conflict is not None:
-            self.stats["aborts"] += 1
+            self._n_aborts.inc()
             certify_span.end(outcome="aborted")
             return {"status": "aborted", "conflict_key": list(conflict)}
 
         commit_ts = self.oracle.next()
         self.certifier.record(commit_ts, keys)
-        self.stats["commits"] += 1
+        self._n_commits.inc()
         certify_span.end(outcome="committed")
         if self.settings.snapshot_visibility == "flushed":
             heapq.heappush(self._unflushed, commit_ts)
@@ -253,7 +260,7 @@ class TransactionManager(Node):
         self._aborted_seen[key] = None
         while len(self._aborted_seen) > self.settings.commit_cache_size:
             self._aborted_seen.popitem(last=False)
-        self.stats["aborts"] += 1
+        self._n_aborts.inc()
         return True
 
     # ------------------------------------------------------------------
@@ -302,7 +309,7 @@ class TransactionManager(Node):
         return self.registry.snapshot()
 
     def _log_fields(self):
-        """Log counters shared by ``rpc_status`` and the stats shim."""
+        """Log counters attached to the ``rpc_status`` envelope."""
         log_stats = yield from self.log.stats_gen()
         out = {
             "log_length": log_stats["length"],
@@ -322,12 +329,3 @@ class TransactionManager(Node):
         with the recovery-log position counters as extra fields."""
         log_fields = yield from self._log_fields()
         return status_envelope("tm", self.addr, self.metrics(), **log_fields)
-
-    def rpc_tm_stats(self, sender: str):
-        """Counters for tests and benchmarks.
-
-        Deprecated: thin shim over the registry -- prefer ``rpc_status``,
-        which returns the uniform component envelope.
-        """
-        log_fields = yield from self._log_fields()
-        return {**self.stats, **log_fields}

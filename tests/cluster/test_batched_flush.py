@@ -1,0 +1,139 @@
+"""End-to-end coverage of the opt-in batched RPC paths.
+
+``flush_max_batch > 1`` routes transactional flush fragments through the
+client's per-server coalescer and ``Node.call_batch``;
+``shard_append_batch_rpc`` ships logger group commits the same way.  Both
+must preserve every correctness property of the default per-call paths --
+the knobs trade schedule fidelity for fewer network events, they never
+trade away atomicity.
+"""
+
+import pytest
+
+from repro import ClusterConfig, SimCluster, TABLE
+from repro.kvstore.keys import row_key
+from repro.workload import WorkloadDriver
+
+
+def make(seed=5, **kv_overrides):
+    config = ClusterConfig(seed=seed)
+    config.workload.n_rows = 2000
+    config.kv.n_regions = 4
+    for name, value in kv_overrides.items():
+        setattr(config.kv, name, value)
+    return config
+
+
+def _write_and_read_back(cluster, n_txns=10, writes_per_txn=6):
+    handle = cluster.add_client()
+
+    def one(base):
+        ctx = yield from handle.txn.begin()
+        for k in range(writes_per_txn):
+            handle.txn.write(ctx, TABLE, row_key(base + k * 37), f"v-{base}-{k}")
+        yield from handle.txn.commit(ctx)
+        return ctx.commit_ts
+
+    for t in range(n_txns):
+        assert cluster.run(one(t * 7)) is not None
+    cluster.kernel.run(until=cluster.kernel.now + 2.0)  # let flushes land
+
+    def read(i):
+        ctx = yield from handle.txn.begin()
+        return (yield from handle.txn.read(ctx, TABLE, row_key(i)))
+
+    for t in range(n_txns):
+        for k in range(writes_per_txn):
+            assert cluster.run(read(t * 7 + k * 37)) == f"v-{t * 7}-{k}"
+
+
+def test_batched_flush_preserves_write_visibility():
+    config = make(flush_max_batch=8, flush_coalesce_window=0.002)
+    cluster = SimCluster(config).start()
+    cluster.preload()
+    _write_and_read_back(cluster)
+
+
+def test_batched_flush_without_window():
+    config = make(flush_max_batch=4, flush_coalesce_window=0.0)
+    cluster = SimCluster(config).start()
+    cluster.preload()
+    _write_and_read_back(cluster)
+
+
+def test_batched_flush_coalesces_network_traffic():
+    """Same seed, same workload: batching must cut messages while keeping
+    every commit/abort decision intact."""
+
+    def run_with(flush_max_batch, window):
+        config = make(seed=11, flush_max_batch=flush_max_batch,
+                      flush_coalesce_window=window)
+        config.workload.n_clients = 8
+        cluster = SimCluster(config).start()
+        cluster.preload()
+        result = WorkloadDriver(cluster).run(duration=4.0, target_tps=80.0)
+        return cluster, result
+
+    plain_cluster, plain = run_with(1, 0.0)
+    batched_cluster, batched = run_with(16, 0.003)
+    assert batched.committed > 0
+    # Batching must not break transactions into failures.
+    assert batched.committed + batched.aborted > 0
+    assert plain.committed > 0
+    fewer = batched_cluster.net.messages_sent
+    more = plain_cluster.net.messages_sent
+    assert fewer < more, (fewer, more)
+
+
+def test_batched_flush_survives_server_crash():
+    """Fragments stuck in a batch to a crashed server retry and land."""
+    config = make(seed=13, flush_max_batch=8, flush_coalesce_window=0.002)
+    cluster = SimCluster(config).start()
+    cluster.preload()
+    handle = cluster.add_client()
+
+    def one(base):
+        ctx = yield from handle.txn.begin()
+        for k in range(6):
+            handle.txn.write(ctx, TABLE, row_key(base + k * 101), f"c-{base}-{k}")
+        yield from handle.txn.commit(ctx)
+
+    cluster.run(one(0))
+
+    def crash_then_write():
+        yield cluster.kernel.timeout(0.01)
+        cluster.crash_server(0)
+
+    cluster.kernel.process(crash_then_write())
+    cluster.run(one(1))
+    cluster.kernel.run(until=cluster.kernel.now + 30.0)  # failover + flush
+
+    def read(i):
+        ctx = yield from handle.txn.begin()
+        return (yield from handle.txn.read(ctx, TABLE, row_key(i)))
+
+    for k in range(6):
+        assert cluster.run(read(1 + k * 101)) == f"c-1-{k}"
+
+
+def test_logger_shard_batch_rpc_round_trip():
+    config = make(seed=17)
+    config.txn.log_shards = 2
+    config.txn.shard_append_batch_rpc = True
+    cluster = SimCluster(config).start()
+    cluster.preload()
+    handle = cluster.add_client()
+
+    def one(i):
+        ctx = yield from handle.txn.begin()
+        handle.txn.write(ctx, TABLE, row_key(i), f"log-{i}")
+        yield from handle.txn.commit(ctx)
+        return ctx.commit_ts
+
+    commit_ts = [cluster.run(one(i)) for i in range(12)]
+    assert all(ts is not None for ts in commit_ts)
+    cluster.kernel.run(until=cluster.kernel.now + 1.0)
+    stats = cluster.run(cluster.tm.log.stats_gen())
+    assert stats["appended"] >= 12
+    # Group commit actually grouped: fewer syncs than records.
+    assert 0 < stats["syncs"] <= stats["appended"]

@@ -119,11 +119,11 @@ def test_status_rpcs_share_the_envelope_shape():
     assert cluster.status("tm")["metrics"]["counters"]["commits"] == 2
 
 
-def test_deprecated_stats_surfaces_still_work():
+def test_flat_stats_surfaces_still_work():
     cluster = make()
     run_some_txns(cluster, n=2)
-    tm = cluster.tm_stats()
-    assert tm["commits"] == 2
+    tm = cluster.status("tm")
+    assert tm["metrics"]["counters"]["commits"] == 2
     assert "log_length" in tm
     net = cluster.net_stats()
     assert net["messages_sent"] > 0

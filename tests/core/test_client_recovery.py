@@ -105,12 +105,12 @@ def test_log_truncation_bounded_by_global_tp():
     for batch in range(10):
         commit_rows(cluster, handle, [batch * 7, batch * 7 + 1], f"b{batch}")
     cluster.run_until(cluster.kernel.now + 4.0)  # thresholds catch up
-    stats = cluster.tm_stats()
+    status = cluster.status("tm")
     rm = cluster.rm_status()
     assert rm["global_tp"] > 0
-    assert stats["log_truncated_below"] == rm["global_tp"]
+    assert status["log_truncated_below"] == rm["global_tp"]
     # All ten commits persisted; almost everything should be truncated.
-    assert stats["log_length"] <= 2
+    assert status["log_length"] <= 2
 
 
 def test_truncation_never_drops_records_recovery_needs():

@@ -109,7 +109,7 @@ class TestCompaction:
                 mini.put(ts, [f"row{ts:05d}"])
             mini.kernel.run(until=mini.kernel.now + 1.0)  # let flusher work
         mini.kernel.run(until=mini.kernel.now + 5.0)
-        compactions = sum(rs.stats["compactions"] for rs in mini.servers)
+        compactions = sum(rs.metrics()["counters"]["compactions"] for rs in mini.servers)
         assert compactions >= 1
         # Every written value still readable after merges + file deletion.
         for probe in (1, 50, 120, ts):

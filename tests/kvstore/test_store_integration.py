@@ -46,7 +46,7 @@ def test_memstore_flush_creates_sstable_and_reads_survive():
     for ts in range(1, 61):
         mini.put(ts, [f"row{ts:04d}"])
     mini.kernel.run(until=mini.kernel.now + 5.0)  # let the flusher run
-    flushed = sum(rs.stats["flushes"] for rs in mini.servers)
+    flushed = sum(rs.metrics()["counters"]["flushes"] for rs in mini.servers)
     assert flushed >= 1
     for ts in (1, 30, 60):
         assert mini.get(f"row{ts:04d}", 100) == (ts, f"v-row{ts:04d}-{ts}")
@@ -98,7 +98,7 @@ def test_client_blocks_and_retries_through_outage():
     result = mini.get("aaa", 10)
     assert result == (10, "v-aaa-10")
     assert mini.kernel.now - start > 0.5  # it actually had to wait
-    assert mini.client.stats["retries"] > 0
+    assert mini.client.metrics()["counters"]["retries"] > 0
 
 
 def test_flush_write_set_spanning_regions_returns_ack_per_region(mini):

@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.metrics import (
-    CounterView,
     MetricsRegistry,
     SpanTracer,
     merge_counters,
@@ -79,19 +78,21 @@ def test_snapshot_keys_are_sorted_and_json_stable():
     )
 
 
-def test_counter_view_is_a_mutable_mapping_shim():
+def test_counters_returns_hot_path_handles():
     reg = MetricsRegistry("txn_client", "c0")
-    stats = reg.counter_view("begun", "committed")
-    assert isinstance(stats, CounterView)
-    assert dict(stats) == {"begun": 0, "committed": 0}
-    stats["begun"] += 1
-    stats["committed"] = 7
+    begun, committed = reg.counters("begun", "committed")
+    assert reg.snapshot()["counters"] == {"begun": 0, "committed": 0}
+    begun.inc()
+    committed.inc(7)
     assert reg.counter("begun").value == 1
     assert reg.counter("committed").value == 7
-    with pytest.raises(KeyError):
-        stats["unknown"]
-    with pytest.raises(TypeError):
-        del stats["begun"]
+
+
+def test_legacy_counter_view_is_gone():
+    reg = MetricsRegistry("txn_client", "c0")
+    assert not hasattr(reg, "counter" + "_view")
+    import repro.metrics as metrics
+    assert not hasattr(metrics, "Counter" + "View")
 
 
 def test_merge_counters_sums_across_snapshots():

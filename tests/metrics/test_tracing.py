@@ -75,10 +75,10 @@ class TestClusterIntegration:
 
         cluster.crash_server(0)
         # A message sent at the dead machine is recorded as a drop.
-        cluster.observer.cast("rs0", "server_status")
+        cluster.observer.cast("rs0", "status")
         cluster.run_until(cluster.kernel.now + 8.0)
         crashes = tracer.events(kind="crash")
         assert {e.src for e in crashes} >= {"rs0", "dn0"}
-        assert tracer.events(kind="drop", method="server_status")
+        assert tracer.events(kind="drop", method="status")
         # And the recovery conversation is visible.
         assert tracer.events(method="recover_region")

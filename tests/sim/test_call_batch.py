@@ -1,0 +1,171 @@
+"""Batched RPC transport: ``Node.call_batch`` semantics.
+
+One wire message carries N payload items; the receiver answers with one
+response message fanned back out to per-item reply events.  Servers may
+provide a batch-aware ``rpc_{method}_batch`` handler; otherwise the plain
+per-item handler runs once per item with isolated failures.
+"""
+
+import pytest
+
+from repro.errors import NodeDown, RemoteError, RpcTimeout
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+
+class EchoServer(Node):
+    """Per-item handler only: the generic fallback loop services batches."""
+
+    def rpc_double(self, sender, value):
+        if value < 0:
+            raise ValueError(f"negative input {value}")
+        return value * 2
+
+    def rpc_slow_double(self, sender, value):
+        yield self.kernel.timeout(0.001)
+        return value * 2
+
+
+class BatchServer(Node):
+    """Defines a batch-aware handler that must win over the per-item one."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.batch_calls = 0
+        self.item_calls = 0
+
+    def rpc_work(self, sender, value):
+        self.item_calls += 1
+        return ("item", value)
+
+    def rpc_work_batch(self, sender, items):
+        self.batch_calls += 1
+        return [(True, ("batch", item["value"])) for item in items]
+
+
+def _mk(cls):
+    kernel = Kernel(seed=0)
+    net = Network(kernel)
+    client = Node(kernel, net, "client")
+    server = cls(kernel, net, "server")
+    return kernel, net, client, server
+
+
+def _gather(kernel, client, events):
+    out = []
+
+    def collect():
+        for event in events:
+            try:
+                out.append(("ok", (yield event)))
+            except Exception as exc:  # noqa: BLE001 - recording outcomes
+                out.append(("err", exc))
+
+    kernel.run_until_complete(kernel.process(collect()))
+    return out
+
+
+def test_batch_per_item_replies_in_order():
+    kernel, _net, client, _server = _mk(EchoServer)
+    events = client.call_batch(
+        "server", "double", [{"value": i} for i in range(5)], timeout=1.0
+    )
+    assert len(events) == 5
+    results = _gather(kernel, client, events)
+    assert results == [("ok", i * 2) for i in range(5)]
+
+
+def test_batch_travels_as_one_message_each_way():
+    kernel, net, client, _server = _mk(EchoServer)
+    events = client.call_batch(
+        "server", "double", [{"value": i} for i in range(8)], timeout=1.0
+    )
+    _gather(kernel, client, events)
+    # One batch_request plus one batch_response -- not 8 of each.
+    assert net.messages_sent == 2
+
+
+def test_batch_generator_handler_items():
+    kernel, _net, client, _server = _mk(EchoServer)
+    events = client.call_batch(
+        "server", "slow_double", [{"value": i} for i in range(3)], timeout=1.0
+    )
+    assert _gather(kernel, client, events) == [("ok", 0), ("ok", 2), ("ok", 4)]
+
+
+def test_batch_item_failures_are_isolated():
+    kernel, _net, client, _server = _mk(EchoServer)
+    events = client.call_batch(
+        "server", "double", [{"value": 1}, {"value": -1}, {"value": 3}],
+        timeout=1.0,
+    )
+    results = _gather(kernel, client, events)
+    assert results[0] == ("ok", 2)
+    assert results[1][0] == "err" and isinstance(results[1][1], RemoteError)
+    assert "negative input" in str(results[1][1])
+    assert results[2] == ("ok", 6)
+
+
+def test_batch_handler_preferred_over_item_handler():
+    kernel, _net, client, server = _mk(BatchServer)
+    events = client.call_batch(
+        "server", "work", [{"value": 1}, {"value": 2}], timeout=1.0
+    )
+    results = _gather(kernel, client, events)
+    assert results == [("ok", ("batch", 1)), ("ok", ("batch", 2))]
+    assert server.batch_calls == 1
+    assert server.item_calls == 0
+
+
+def test_batch_unknown_method_fails_every_item():
+    kernel, _net, client, _server = _mk(EchoServer)
+    events = client.call_batch(
+        "server", "nope", [{"value": 1}, {"value": 2}], timeout=1.0
+    )
+    results = _gather(kernel, client, events)
+    assert all(kind == "err" for kind, _ in results)
+    assert all(isinstance(exc, RemoteError) for _kind, exc in results)
+
+
+def test_batch_timeout_fails_pending_items():
+    kernel, _net, client, server = _mk(EchoServer)
+    server.crash()
+    events = client.call_batch(
+        "server", "double", [{"value": 1}, {"value": 2}], timeout=0.05
+    )
+    results = _gather(kernel, client, events)
+    assert all(kind == "err" for kind, _ in results)
+    assert all(isinstance(exc, RpcTimeout) for _kind, exc in results)
+
+
+def test_batch_from_dead_caller_fails_immediately():
+    kernel, _net, client, _server = _mk(EchoServer)
+    client.crash()
+    events = client.call_batch("server", "double", [{"value": 1}])
+    assert events[0].triggered
+    results = _gather(kernel, client, events)
+    assert isinstance(results[0][1], NodeDown)
+
+
+def test_empty_batch_returns_no_events():
+    _kernel, net, client, _server = _mk(EchoServer)
+    assert client.call_batch("server", "double", []) == []
+    assert net.messages_sent == 0
+
+
+def test_batch_caller_crash_drops_pending_replies():
+    kernel, _net, client, server = _mk(EchoServer)
+    events = client.call_batch(
+        "server", "slow_double", [{"value": 1}], timeout=1.0
+    )
+
+    def crasher():
+        yield kernel.timeout(0.0001)
+        client.crash()
+
+    kernel.process(crasher())
+    kernel.run(until=0.5)
+    # The reply arrived after the crash cleared the pending table: the
+    # event stays untriggered (the caller is gone anyway).
+    assert not events[0].triggered

@@ -156,7 +156,7 @@ def test_partition_drop_happens_at_send_time():
 def test_chaos_counters_snapshot():
     k, net, a, _b = make_pair()
     run_calls(k, a, "b", "ping", 2)
-    counters = net.chaos_counters()
+    counters = net.metrics()["counters"]
     assert counters["messages_sent"] == 4  # 2 requests + 2 responses
     for key in (
         "messages_dropped", "messages_lost", "messages_duplicated",

@@ -56,8 +56,8 @@ def test_retried_commit_returns_cached_verdict():
     first, again = drive(k, proc())
     assert first["status"] == "committed"
     assert again == first  # same verdict, same commit timestamp
-    assert tm.stats["commits"] == 1
-    assert tm.stats["duplicate_commits"] == 1
+    assert tm.metrics()["counters"]["commits"] == 1
+    assert tm.metrics()["counters"]["duplicate_commits"] == 1
 
 
 def test_inflight_duplicate_parks_on_the_first_decision():
@@ -78,8 +78,8 @@ def test_inflight_duplicate_parks_on_the_first_decision():
     r1, r2 = drive(k, proc())
     assert r1 == r2
     assert r1["status"] == "committed"
-    assert tm.stats["commits"] == 1
-    assert tm.stats["duplicate_commits"] == 1
+    assert tm.metrics()["counters"]["commits"] == 1
+    assert tm.metrics()["counters"]["duplicate_commits"] == 1
 
 
 def test_distinct_transactions_are_not_deduplicated():
@@ -98,5 +98,5 @@ def test_distinct_transactions_are_not_deduplicated():
     assert r1["status"] == "committed"
     assert r2["status"] == "committed"
     assert r1["commit_ts"] != r2["commit_ts"]
-    assert tm.stats["commits"] == 2
-    assert tm.stats["duplicate_commits"] == 0
+    assert tm.metrics()["counters"]["commits"] == 2
+    assert tm.metrics()["counters"]["duplicate_commits"] == 0

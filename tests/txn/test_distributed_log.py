@@ -114,8 +114,8 @@ class TestClusterWithShardedLog:
 
         ctx = cluster.run(txn())
         assert ctx.commit_ts is not None
-        stats = cluster.tm_stats()
-        assert stats["log_appended"] >= 1
+        status = cluster.status("tm")
+        assert status["log_appended"] >= 1
 
         def read():
             c2 = yield from handle.txn.begin()

@@ -36,7 +36,7 @@ def test_transaction_commits_and_returns_body_result():
     assert result == "result"
     assert ctx.state == COMMITTED
     assert ctx.commit_ts is not None
-    assert handle.txn.stats["committed"] == 1
+    assert handle.txn.metrics()["counters"]["committed"] == 1
 
 
 def test_transaction_auto_aborts_on_body_exception():
@@ -56,8 +56,8 @@ def test_transaction_auto_aborts_on_body_exception():
 
     with pytest.raises(Boom):
         cluster.run(run())
-    assert handle.txn.stats["aborted"] == 1
-    assert handle.txn.stats["committed"] == 0
+    assert handle.txn.metrics()["counters"]["aborted"] == 1
+    assert handle.txn.metrics()["counters"]["committed"] == 0
 
 
 def test_transaction_respects_business_rule_abort():
@@ -74,7 +74,7 @@ def test_transaction_respects_business_rule_abort():
     ctx, result = cluster.run(run())
     assert result == "declined"
     assert ctx.state == ABORTED
-    assert handle.txn.stats["committed"] == 0
+    assert handle.txn.metrics()["counters"]["committed"] == 0
 
 
 def test_transaction_retries_conflicts_up_to_n_times():
@@ -100,7 +100,7 @@ def test_transaction_retries_conflicts_up_to_n_times():
 
     with pytest.raises(TxnConflict):
         cluster.run(run_no_retry())
-    aborted_before = a.txn.stats["aborted"]
+    aborted_before = a.txn.metrics()["counters"]["aborted"]
     assert aborted_before >= 1
 
     # With retries the helper keeps re-running the body; the body conflicts
@@ -108,10 +108,10 @@ def test_transaction_retries_conflicts_up_to_n_times():
     def run_with_retries():
         return (yield from a.txn.transaction(conflicting, retries=2))
 
-    begun_before = a.txn.stats["begun"]
+    begun_before = a.txn.metrics()["counters"]["begun"]
     with pytest.raises(TxnConflict):
         cluster.run(run_with_retries())
-    assert a.txn.stats["begun"] - begun_before == 3
+    assert a.txn.metrics()["counters"]["begun"] - begun_before == 3
 
 
 def test_transaction_wait_flush_reaches_flushed_state():
@@ -126,7 +126,7 @@ def test_transaction_wait_flush_reaches_flushed_state():
         return (yield from handle.txn.transaction(body, wait_flush=True))
 
     ctx, _ = cluster.run(run())
-    assert handle.txn.stats["flushed"] == 1
+    assert handle.txn.metrics()["counters"]["flushed"] == 1
     assert ctx.commit_ts is not None
 
 
