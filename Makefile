@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos chaos-disk chaos-kill check-sweep bench bench-figs bench-paper examples demo clean
+.PHONY: install test chaos chaos-disk chaos-kill chaos-tm-shard check-sweep bench bench-figs bench-paper examples demo clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -26,6 +26,16 @@ chaos-kill:
 	$(PYTHON) -m repro chaos --seeds 20 --kill-during-recovery \
 		--json artifacts/chaos-kill-report.json \
 		--history-dir artifacts/histories-kill
+
+# 20-seed sweep on a 2-shard transaction manager with a kill-a-TM-shard
+# injection inside each storm (oracle on by default): the non-blocking
+# cross-shard commit acceptance gate -- zero lost commits, SI anomalies,
+# invariant violations, or permanently in-doubt transactions.
+chaos-tm-shard:
+	mkdir -p artifacts
+	$(PYTHON) -m repro chaos --seeds 20 --tm-shards 2 \
+		--json artifacts/chaos-tm-shard-report.json \
+		--history-dir artifacts/histories-tm-shard
 
 # Oracle-backed sweeps with per-seed history artifacts: each seed's
 # recorded operation history lands under artifacts/ and can be

@@ -145,15 +145,28 @@ class HistoryRecorder:
             value=value,
         )
 
-    def note_commit_attempt(self, ctx: TxnContext, writes: List[tuple]) -> None:
-        """The commit request (with its certified write-set) hit the wire."""
-        self._emit(
-            "commit_attempt",
+    def note_commit_attempt(
+        self,
+        ctx: TxnContext,
+        writes: List[tuple],
+        owners: Optional[List[int]] = None,
+    ) -> None:
+        """The commit request (with its certified write-set) hit the wire.
+
+        ``owners`` -- present only under a sharded TM -- gives the owning
+        TM-shard index per write (parallel to ``writes``), which is what
+        the checker's cross-shard atomicity rule keys on.  Unsharded runs
+        omit the field entirely, keeping their histories byte-identical.
+        """
+        fields = dict(
             txn=txn_key(ctx),
             client=ctx.client_id,
             start_ts=ctx.start_ts,
             writes=[list(w) for w in writes],
         )
+        if owners is not None:
+            fields["owners"] = list(owners)
+        self._emit("commit_attempt", **fields)
 
     def note_commit(self, ctx: TxnContext, read_only: bool = False) -> None:
         """The commit was acknowledged to the application."""

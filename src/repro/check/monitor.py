@@ -36,6 +36,17 @@ the workload got unlucky):
 * ``truncation_le_tp`` -- the TM recovery log is never truncated past
   the global T_P (Algorithm 4's whole point).
 
+Under a sharded TM (``txn.tm_shards > 1``) the recovery manager also
+publishes per-shard thresholds, and three sharded refinements of the
+rules above are checked (only when the ``shards`` key is present, so
+unsharded states are judged exactly as before):
+
+* ``shard_tp_le_tf`` -- each shard's T_P <= its T_F;
+* ``shard_tf_monotone`` / ``shard_tp_monotone`` -- per-shard thresholds
+  never move backwards within one recovery-manager incarnation;
+* ``shard_truncation_le_tp`` -- no TM shard's recovery log is truncated
+  past that shard's T_P.
+
 Sampling is in-memory on the observer node (no RPC traffic), so the
 monitor never perturbs the workload it is judging.
 """
@@ -121,6 +132,46 @@ def evaluate_invariants(state: dict, memory: Optional[dict] = None) -> List[dict
                 "truncation_le_tp", "tm",
                 f"log truncated below {trunc} > global T_P {tp}",
             )
+        shards = rm.get("shards") or {}
+        if shards:
+            tm_shards = tm.get("shards") or {}
+            if memory is not None and memory.get("_shard_epoch") != rm.get(
+                "epoch"
+            ):
+                memory["_shard_epoch"] = rm.get("epoch")
+                memory.pop("shard_tf_wm", None)
+                memory.pop("shard_tp_wm", None)
+            for sid in sorted(shards):
+                s_tf = shards[sid]["tf"]
+                s_tp = shards[sid]["tp"]
+                subject = f"shard{sid}"
+                if s_tp > s_tf:
+                    flag(
+                        "shard_tp_le_tf", subject,
+                        f"shard T_P {s_tp} > shard T_F {s_tf}",
+                    )
+                if memory is not None:
+                    tf_wm = memory.setdefault("shard_tf_wm", {})
+                    tp_wm = memory.setdefault("shard_tp_wm", {})
+                    if s_tf < tf_wm.get(sid, s_tf):
+                        flag(
+                            "shard_tf_monotone", subject,
+                            f"shard T_F moved back {tf_wm[sid]} -> {s_tf}",
+                        )
+                    if s_tp < tp_wm.get(sid, s_tp):
+                        flag(
+                            "shard_tp_monotone", subject,
+                            f"shard T_P moved back {tp_wm[sid]} -> {s_tp}",
+                        )
+                    tf_wm[sid] = max(s_tf, tf_wm.get(sid, s_tf))
+                    tp_wm[sid] = max(s_tp, tp_wm.get(sid, s_tp))
+                s_trunc = tm_shards.get(sid)
+                if s_trunc is not None and s_trunc > s_tp:
+                    flag(
+                        "shard_truncation_le_tp", subject,
+                        f"shard log truncated below {s_trunc} "
+                        f"> shard T_P {s_tp}",
+                    )
 
     for cid in sorted(clients):
         entry = clients[cid]
@@ -207,6 +258,11 @@ class InvariantMonitor:
                     cid for cid, e in rm.clients.items() if e.status == LIVE
                 ),
             }
+            if getattr(rm, "n_tm_shards", 1) > 1:
+                state["rm"]["shards"] = {
+                    str(s): {"tf": rm.shard_tf[s], "tp": rm.shard_tp[s]}
+                    for s in range(rm.n_tm_shards)
+                }
         for handle in cluster.clients:
             agent = handle.agent
             if agent is None or agent.tracker is None:
@@ -233,6 +289,13 @@ class InvariantMonitor:
         state["tm"] = {
             "truncated_below": getattr(cluster.tm.log, "truncated_below", None)
         }
+        tms = getattr(cluster, "tms", [cluster.tm])
+        if len(tms) > 1:
+            state["tm"]["shards"] = {
+                str(i): getattr(tm.log, "truncated_below", None)
+                for i, tm in enumerate(tms)
+                if tm.alive
+            }
         return state
 
     def check_once(self) -> List[dict]:

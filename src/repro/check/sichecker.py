@@ -31,7 +31,15 @@ against the transactional contract:
 * **inconsistent_replay** -- reads attribute the same unacknowledged
   transaction (client crashed before learning the verdict; Algorithm 2
   replays it) to two different commit timestamps, i.e. a non-idempotent
-  replay materialized the write-set twice.
+  replay materialized the write-set twice;
+* **cross_shard_atomicity** -- sharded-TM histories only (commit
+  attempts carry per-write ``owners``): a committed transaction whose
+  write-set spans several TM shards must become visible atomically.
+  Once its flush completed, a read inside a snapshot that covers its
+  commit timestamp must not return an *older* version for any of its
+  keys -- doing so means one shard's slice materialized while another's
+  was lost (a torn cross-shard commit).  The rule is flush-gated exactly
+  like ``stale_read``, so deferred visibility never trips it.
 
 The checker is pure: same history in, byte-identical report out.
 """
@@ -188,6 +196,9 @@ class SIChecker:
                     )
 
         self._check_lost_updates(txns, bindings, report)
+        n_cross_shard = self._check_cross_shard_atomicity(
+            txns, flush_times, bindings, report
+        )
 
         report.counters = {
             "events": len(self.events),
@@ -201,6 +212,8 @@ class SIChecker:
             "versions": sum(len(v) for v in versions.values()),
             "anomalies": len(report.anomalies),
         }
+        if n_cross_shard is not None:
+            report.counters["cross_shard_txns"] = n_cross_shard
         return report
 
     # ------------------------------------------------------------------
@@ -479,6 +492,103 @@ class SIChecker:
                         f"{wkey[0]}/{wkey[1]}/{wkey[2]} with overlapping "
                         f"intervals",
                     ))
+
+
+    # ------------------------------------------------------------------
+    # cross-shard atomicity audit (sharded-TM histories)
+    # ------------------------------------------------------------------
+    def _check_cross_shard_atomicity(
+        self,
+        txns: Dict[str, _Txn],
+        flush_times: Dict[int, float],
+        bindings: Dict[str, int],
+        report: CheckReport,
+    ) -> Optional[int]:
+        """All-or-nothing visibility of multi-shard write-sets.
+
+        Returns the number of cross-shard transactions audited, or None
+        when the history carries no ``owners`` metadata at all (an
+        unsharded run) -- the report then stays byte-identical to the
+        pre-sharding checker's.
+        """
+        sharded_history = False
+        #: key -> [(commit_ts, value, writer, owner_shard)], cross-shard only.
+        cross: Dict[Key, List[Tuple[int, Any, str, int]]] = {}
+        n_cross = 0
+        for tkey in sorted(txns):
+            txn = txns[tkey]
+            attempt = txn.attempt
+            if attempt is None:
+                continue
+            owners = attempt.get("owners")
+            if owners is None:
+                continue
+            sharded_history = True
+            if len(set(owners)) < 2:
+                continue
+            ts = txn.commit_ts
+            if ts is None and tkey in bindings:
+                ts = bindings[tkey]  # replayed unacked txn, inferred ts
+            if ts is None or txn.aborted or txn.read_only:
+                continue
+            n_cross += 1
+            for (table, row, column, value), owner in zip(
+                (tuple(w) for w in attempt["writes"]), owners
+            ):
+                cross.setdefault((table, row, column), []).append(
+                    (ts, value, tkey, owner)
+                )
+        if not sharded_history:
+            return None
+        if not cross:
+            return n_cross
+
+        def judge(
+            txn_key: str, table: str, row: str, column: str,
+            start_ts: int, issued_at: float, version: Optional[int],
+            own: bool, where: str,
+        ) -> None:
+            if own:
+                return
+            for ts, value, writer, owner in cross.get(
+                (table, row, column), ()
+            ):
+                if ts > start_ts:
+                    continue  # outside the reader's snapshot
+                returned = (
+                    version if version is not None else self.INITIAL_VERSION - 1
+                )
+                if returned >= ts:
+                    continue  # the slice (or something newer) was seen
+                if version is None and value is None:
+                    continue  # a miss correctly reflecting a delete
+                flushed_at = flush_times.get(ts)
+                if flushed_at is None or flushed_at > issued_at:
+                    continue  # not observably in the store yet
+                report.anomalies.append(Anomaly(
+                    "cross_shard_atomicity", txn_key,
+                    f"{where} of {table}/{row}/{column} at snapshot "
+                    f"{start_ts} returned version {version} but "
+                    f"cross-shard {writer} committed {ts} (shard {owner} "
+                    f"slice, flushed before the read): torn write-set",
+                ))
+
+        for ev in self.events:
+            if ev["e"] == "read":
+                judge(
+                    ev["txn"], ev["table"], ev["row"], ev["column"],
+                    ev["start_ts"], ev.get("t0", ev["t"]), ev["version"],
+                    ev["own"], "read",
+                )
+            elif ev["e"] == "scan":
+                for row_entry in ev["rows"]:
+                    row, version, _value, own = row_entry
+                    judge(
+                        ev["txn"], ev["table"], row, ev["column"],
+                        ev["start_ts"], ev.get("t0", ev["t"]), version,
+                        own, "scan",
+                    )
+        return n_cross
 
 
 def _vkey(value: Any) -> str:

@@ -56,6 +56,12 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
         help="how long a client's per-server flush coalescer gathers "
              "fragments before shipping a batch (0 = ship immediately)",
     )
+    parser.add_argument(
+        "--tm-shards", type=int, default=1, metavar="N",
+        help="partition the transaction manager into N shards (tm0..tmN-1, "
+             "cross-shard commits via non-blocking 2PC; 1 = classic single "
+             "TM, bit-identical to the pre-sharding schedule)",
+    )
 
 
 def _emit_metrics(cluster: SimCluster, path: Optional[str]) -> None:
@@ -98,6 +104,7 @@ def _build(args: argparse.Namespace) -> SimCluster:
     config.sim.queue_bucket_width = getattr(args, "queue_bucket_width", 0.005)
     config.kv.flush_max_batch = getattr(args, "flush_max_batch", 1)
     config.kv.flush_coalesce_window = getattr(args, "flush_coalesce_window", 0.0)
+    config.txn.tm_shards = getattr(args, "tm_shards", 1)
     if args.sync_wal:
         config.kv.wal_sync_mode = "sync"
         config.recovery.enabled = False
@@ -241,25 +248,37 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         disk_chaos_settings,
         kill_during_recovery_settings,
         run_chaos,
+        tm_shard_chaos_settings,
     )
 
     seeds = [args.seed] if args.seed is not None else list(range(1, args.seeds + 1))
     if not seeds:
         print("error: --seeds must be >= 1", file=sys.stderr)
         return 2
+    shard_overrides = {}
+    if args.tm_shards > 1:
+        shard_overrides = dict(
+            tm_shards=args.tm_shards, tm_shard_kills=1, settle=60.0
+        )
     settings = None
     if args.disk_faults and args.kill_during_recovery:
-        settings = disk_chaos_settings(kill_during_recovery=1, settle=60.0)
+        settings = disk_chaos_settings(
+            kill_during_recovery=1, settle=60.0, **shard_overrides
+        )
     elif args.disk_faults:
-        settings = disk_chaos_settings()
+        settings = disk_chaos_settings(**shard_overrides)
     elif args.kill_during_recovery:
-        settings = kill_during_recovery_settings()
+        settings = kill_during_recovery_settings(**shard_overrides)
+    elif shard_overrides:
+        settings = tm_shard_chaos_settings(**shard_overrides)
     print(
         f"chaos sweep over {len(seeds)} seed(s): loss, duplication, delay "
         f"spikes, partitions, machine and client crashes"
         + (", disk faults" if args.disk_faults else "")
         + (", second crash inside the recovery window"
            if args.kill_during_recovery else "")
+        + (f", {args.tm_shards} TM shards with a shard kill"
+           if args.tm_shards > 1 else "")
     )
     if args.history_dir:
         import os
@@ -361,17 +380,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     rm = cluster.rm_status()
     events = cluster.kernel.event_count
+    scenario = {
+        "seed": args.seed,
+        "duration_s": args.duration,
+        "offered_tps": args.tps,
+        "servers": args.servers,
+        "regions": args.regions,
+        "rows": args.rows,
+        "clients": args.clients,
+        "crash_at_s": crash_at,
+    }
+    if getattr(args, "tm_shards", 1) != 1:
+        # Only when sharded: unsharded scenario dicts stay byte-identical
+        # to the committed baselines, so check_bench keeps comparing them.
+        scenario["tm_shards"] = args.tm_shards
     payload = {
-        "scenario": {
-            "seed": args.seed,
-            "duration_s": args.duration,
-            "offered_tps": args.tps,
-            "servers": args.servers,
-            "regions": args.regions,
-            "rows": args.rows,
-            "clients": args.clients,
-            "crash_at_s": crash_at,
-        },
+        "scenario": scenario,
         "commit": {
             "count": commit.get("count", 0),
             "p50_ms": round(commit.get("p50", 0.0) * 1000, 6),
@@ -480,6 +504,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="crash a second server while it hosts pending "
                             "recovery partitions (exercises cascading "
                             "failover and re-partitioning)")
+    chaos.add_argument("--tm-shards", type=int, default=1, metavar="N",
+                       help="run against a sharded transaction manager "
+                            "(N shards) and kill one shard mid-storm")
     chaos.add_argument("--json", metavar="PATH", default=None,
                        help="write the full sweep report as JSON")
     chaos.add_argument("--history-dir", metavar="DIR", default=None,

@@ -34,6 +34,7 @@ from repro.metrics.spans import tracer_for
 from repro.sim import Kernel, LatencyModel, Network, Node, Resource
 from repro.txn import STORE_SYNC, TM_LOG, TransactionManager, TxnClient
 from repro.txn.log import RecoveryLog
+from repro.txn.sharding import shard_addrs as tm_shard_addrs
 from repro.zk import ZkClient, ZkService, ZkWatcherMixin
 
 TABLE = "usertable"
@@ -120,15 +121,41 @@ class SimCluster:
                 for i in range(cfg.txn.log_shards)
             ]
 
-        # TM and RM co-hosted: one 2-core VM's worth of shared CPU.
+        # TM and RM co-hosted: one 2-core VM's worth of shared CPU.  With
+        # ``txn.tm_shards > 1`` the TM becomes an array of shard processes
+        # tm0..tmN-1 (authority at tm0) sharing that CPU; ``self.tm``
+        # stays the authority shard so single-TM call sites keep working.
         self.tm_rm_cpu = Resource(self.kernel, capacity=2)
-        self.tm = TransactionManager(
-            self.kernel,
-            self.net,
-            settings=cfg.txn,
-            shared_cpu=self.tm_rm_cpu,
-            logger_shards=[shard.addr for shard in self.logger_shards] or None,
-        )
+        n_tm_shards = cfg.txn.tm_shards
+        if n_tm_shards > 1:
+            if cfg.txn.log_shards > 0:
+                raise ValueError(
+                    "txn.tm_shards > 1 is incompatible with the distributed "
+                    "recovery log (txn.log_shards)"
+                )
+            addrs = tm_shard_addrs(n_tm_shards)
+            self.tms: List[TransactionManager] = [
+                TransactionManager(
+                    self.kernel,
+                    self.net,
+                    addr=addrs[i],
+                    settings=cfg.txn,
+                    shared_cpu=self.tm_rm_cpu,
+                    shard_index=i,
+                    shard_addrs=addrs,
+                )
+                for i in range(n_tm_shards)
+            ]
+            self.tm = self.tms[0]
+        else:
+            self.tm = TransactionManager(
+                self.kernel,
+                self.net,
+                settings=cfg.txn,
+                shared_cpu=self.tm_rm_cpu,
+                logger_shards=[shard.addr for shard in self.logger_shards] or None,
+            )
+            self.tms = [self.tm]
         self.rm: Optional[RecoveryManager] = None
         if cfg.recovery.enabled:
             self.rm = RecoveryManager(
@@ -136,6 +163,9 @@ class SimCluster:
                 self.net,
                 settings=cfg.recovery,
                 kv_settings=cfg.kv,
+                tm_addr=[tm.addr for tm in self.tms]
+                if n_tm_shards > 1
+                else "tm",
                 shared_cpu=self.tm_rm_cpu,
             )
         self.master = Master(
@@ -272,7 +302,14 @@ class SimCluster:
             self.run(agent.start())
         durability = STORE_SYNC if cfg.kv.wal_sync_mode == SYNC else TM_LOG
         txn = TxnClient(
-            node, kv, client_id=addr, durability=durability, tracker=agent
+            node,
+            kv,
+            client_id=addr,
+            durability=durability,
+            tracker=agent,
+            tm_addrs=[tm.addr for tm in self.tms]
+            if cfg.txn.tm_shards > 1
+            else None,
         )
         if self.history_recorder is not None:
             self.history_recorder.attach(txn)
@@ -418,6 +455,28 @@ class SimCluster:
         rs = self.servers[index]
         self.run(rs.restart())
 
+    def crash_tm_shard(self, index: int) -> None:
+        """Crash one TM shard process (sharded TM only).
+
+        Single-shard transactions on other shards keep committing; cross-
+        shard transactions touching this shard park until it restarts
+        (the non-blocking protocol resolves any in-doubt ones then).
+        """
+        self.tms[index].crash()
+
+    def restart_tm_shard(self, index: int) -> None:
+        """Revive a crashed TM shard and run its recovery protocol.
+
+        The shard salvages its recovery log, rebuilds certification state
+        and prepare-journal reservations, reseeds the timestamp authority
+        (shard 0), and resolves in-doubt cross-shard transactions against
+        the decision registry.
+        """
+        tm = self.tms[index]
+        tm.revive()
+        proc = tm.spawn(tm.restart(), name="tm-restart")
+        proc.defuse()
+
     def restart_recovery_manager(self) -> RecoveryManager:
         """Kill and restart the recovery manager (Section 3.3)."""
         if self.rm is None:
@@ -428,6 +487,9 @@ class SimCluster:
             self.net,
             settings=self.config.recovery,
             kv_settings=self.config.kv,
+            tm_addr=[tm.addr for tm in self.tms]
+            if len(self.tms) > 1
+            else "tm",
             shared_cpu=self.tm_rm_cpu,
         )
         proc = self.rm.spawn(self.rm.start(recover=True), name="restart")
@@ -498,7 +560,8 @@ class SimCluster:
             components[f"{snap['component']}:{snap['addr']}"] = snap
 
         fold(self.net.metrics())
-        fold(self.tm.metrics())
+        for tm in self.tms:
+            fold(tm.metrics())
         fold(self.master.metrics())
         if self.rm is not None:
             fold(self.rm.metrics())
@@ -610,8 +673,12 @@ class SimCluster:
             disks[dn.addr]["repairs"] = dn.repairs_received
         for shard in self.logger_shards:
             disks[shard.addr] = shard.disk.stats()
-        tm_log = getattr(self.tm, "log", None)
-        if isinstance(tm_log, RecoveryLog):
+        tm_logs = [
+            log
+            for log in (getattr(tm, "log", None) for tm in self.tms)
+            if isinstance(log, RecoveryLog)
+        ]
+        for tm_log in tm_logs:
             disks[tm_log.disk.name] = tm_log.disk.stats()
         readers = [self.master.dfs] + [rs.dfs for rs in self.servers]
         integrity = {
@@ -620,9 +687,13 @@ class SimCluster:
             "salvages": sum(r.salvages for r in readers),
         }
         salvage = [rep.to_wire() for r in readers for rep in r.salvage_reports]
-        if isinstance(tm_log, RecoveryLog):
-            integrity["log_lost_unsynced"] = tm_log.stats.lost_unsynced
-            salvage.extend(rep.to_wire() for rep in tm_log.salvage_reports)
+        if tm_logs:
+            integrity["log_lost_unsynced"] = sum(
+                log.stats.lost_unsynced for log in tm_logs
+            )
+            salvage.extend(
+                rep.to_wire() for log in tm_logs for rep in log.salvage_reports
+            )
         return {
             "disks": disks,
             "integrity": integrity,

@@ -198,6 +198,19 @@ class TxnSettings:
     #: per group, one shard-side sync, per-record acks.  Off by default --
     #: the plain ``shard_append`` call is the calibrated schedule.
     shard_append_batch_rpc: bool = False
+    #: Number of transaction-manager shards.  1 keeps the single TM at
+    #: address "tm" (the calibrated schedule, bit-for-bit).  >1 partitions
+    #: the certification keyspace by hash across shards ``tm0..tmN-1``:
+    #: single-shard transactions commit exactly as today at their owner
+    #: shard, cross-shard transactions run a non-blocking 2PC variant
+    #: (Gray & Lamport's commit-consensus shape) with the commit decision
+    #: registered durably at the timestamp-authority shard (``tm0``) so no
+    #: single coordinator crash can wedge a transaction.
+    tm_shards: int = 1
+    #: How long a participant shard waits on an undecided prepared
+    #: transaction before resolving it itself against the decision
+    #: registry (presumed abort).  Only meaningful with ``tm_shards > 1``.
+    indoubt_resolve_timeout: float = 1.0
 
 
 @dataclass

@@ -23,7 +23,7 @@ recovery manager never stops the world.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.config import KvSettings, RecoverySettings
 from repro.core.paths import (
@@ -68,6 +68,7 @@ class _Tracked:
         "pending_regions",
         "floors",
         "incarnation",
+        "shard_tf",
     )
 
     def __init__(
@@ -81,6 +82,9 @@ class _Tracked:
         self.incarnation = incarnation
         self.status = LIVE
         self.pending_regions = 0  # failed servers: regions awaiting replay
+        #: Clients under a sharded TM: per-TM-shard flushed thresholds from
+        #: the ``tf_shards`` heartbeat field (None when unsharded).
+        self.shard_tf: Optional[Dict[int, int]] = None
         #: Replay-in-flight floors (region -> failed server's T_P): while we
         #: are replaying onto this server, its effective threshold must not
         #: rise above the floor, or a crash mid-replay would lose the
@@ -105,14 +109,32 @@ class RecoveryManager(ZkWatcherMixin, Node):
         addr: str = "rm",
         settings: Optional[RecoverySettings] = None,
         kv_settings: Optional[KvSettings] = None,
-        tm_addr: str = "tm",
+        tm_addr: Union[str, List[str]] = "tm",
         master: str = "master",
         zk_addr: str = "zk",
         shared_cpu: Optional[Resource] = None,
     ) -> None:
         super().__init__(kernel, net, addr)
         self.settings = settings or RecoverySettings()
-        self.tm_addr = tm_addr
+        #: TM shard addresses, fence/fetch/truncate fan-out targets.  A
+        #: plain string (the classic single TM) becomes a one-entry list;
+        #: ``tm_addr`` keeps pointing at the authority shard.
+        if isinstance(tm_addr, str):
+            self.tm_addrs: List[str] = [tm_addr]
+        else:
+            self.tm_addrs = list(tm_addr)
+        self.tm_addr = self.tm_addrs[0]
+        self.n_tm_shards = len(self.tm_addrs)
+        #: Sharded TM only: per-shard flushed/persisted thresholds.  The
+        #: *published* global tf/tp keep the classic single-TM formulas --
+        #: the per-shard values refine them for shard-local truncation and
+        #: the monitor's per-shard invariants.
+        self.shard_tf: Dict[int, int] = {
+            s: 0 for s in range(self.n_tm_shards)
+        } if self.n_tm_shards > 1 else {}
+        self.shard_tp: Dict[int, int] = {
+            s: 0 for s in range(self.n_tm_shards)
+        } if self.n_tm_shards > 1 else {}
         self.zk = ZkClient(self, zk_addr=zk_addr)
         self.kv = KvClient(self, master=master, settings=kv_settings)
         self.recovery_client = RecoveryClient(self.kv)
@@ -189,6 +211,15 @@ class RecoveryManager(ZkWatcherMixin, Node):
             node = yield from self.zk.get(GLOBAL_PATH)
             self.global_tf = node["data"].get("tf", 0)
             self.global_tp = node["data"].get("tp", 0)
+            for key, vals in (node["data"].get("shards") or {}).items():
+                shard = int(key)
+                if shard in self.shard_tf:
+                    self.shard_tf[shard] = max(
+                        self.shard_tf[shard], vals.get("tf", 0)
+                    )
+                    self.shard_tp[shard] = max(
+                        self.shard_tp[shard], vals.get("tp", 0)
+                    )
         except Exception:
             yield from self.zk.create(GLOBAL_PATH, data={"tf": 0, "tp": 0})
         pending = yield from self.zk.get_children(PENDING_DIR)
@@ -248,12 +279,26 @@ class RecoveryManager(ZkWatcherMixin, Node):
         self._ingest_servers(server_paths, snapshots[len(client_paths) :])
         self._detect_client_failures()
         self._recompute_globals()
-        yield from self.zk.set_data(
-            GLOBAL_PATH, data={"tf": self.global_tf, "tp": self.global_tp}
-        )
+        payload = {"tf": self.global_tf, "tp": self.global_tp}
+        if self.n_tm_shards > 1:
+            payload["shards"] = {
+                str(s): {"tf": self.shard_tf[s], "tp": self.shard_tp[s]}
+                for s in range(self.n_tm_shards)
+            }
+        yield from self.zk.set_data(GLOBAL_PATH, data=payload)
         if self.settings.truncate_log and self.global_tp > 0:
-            self.cast(self.tm_addr, "truncate_log", up_to_ts=self.global_tp)
-            self._n_truncation_requests.inc()
+            if self.n_tm_shards > 1:
+                # Each shard truncates at its own persisted threshold (the
+                # global min feeds region-server gating; the per-shard
+                # values are never below it by construction).
+                for s, addr in enumerate(self.tm_addrs):
+                    up_to = self.shard_tp.get(s, self.global_tp)
+                    if up_to > 0:
+                        self.cast(addr, "truncate_log", up_to_ts=up_to)
+                        self._n_truncation_requests.inc()
+            else:
+                self.cast(self.tm_addr, "truncate_log", up_to_ts=self.global_tp)
+                self._n_truncation_requests.inc()
 
     def _ingest_clients(self, paths: List[str], snapshots: List[Optional[dict]]) -> None:
         seen = set()
@@ -265,16 +310,20 @@ class RecoveryManager(ZkWatcherMixin, Node):
             data = snapshot["data"]
             entry = self.clients.get(client_id)
             if entry is None:
-                self.clients[client_id] = _Tracked(data["tf"], data["t"])
+                entry = _Tracked(data["tf"], data["t"])
+                self.clients[client_id] = entry
                 # A brand-new registration can reuse a fenced id (drivers
                 # re-create dead clients under the same name).  The old
                 # incarnation's entry blocked this path until its recovery
                 # completed, so the fence has served its purpose -- lift it
                 # or the newcomer could never commit.
-                self.cast(self.tm_addr, "unfence_client", client_id=client_id)
+                for tm in self.tm_addrs:
+                    self.cast(tm, "unfence_client", client_id=client_id)
+                self._ingest_shard_tf(entry, data)
             elif entry.status == LIVE:
                 entry.threshold = max(entry.threshold, data["tf"])
                 entry.heartbeat_time = max(entry.heartbeat_time, data["t"])
+                self._ingest_shard_tf(entry, data)
             if "alert" in data:
                 self.alerts.append(
                     {"component": client_id, "queue": data["alert"], "t": self.kernel.now}
@@ -346,6 +395,23 @@ class RecoveryManager(ZkWatcherMixin, Node):
                 self._note_fallen(server, self.servers[server].threshold)
                 del self.servers[server]
 
+    def _ingest_shard_tf(self, entry: _Tracked, data: dict) -> None:
+        """Fold a heartbeat's per-TM-shard thresholds into the entry.
+
+        Only present under a sharded TM; the reports are monotone per
+        shard (the client's shard report never regresses), but max-merge
+        anyway, matching the global-threshold discipline.
+        """
+        reported = data.get("tf_shards")
+        if not reported:
+            return
+        if entry.shard_tf is None:
+            entry.shard_tf = {}
+        for key, value in reported.items():
+            shard = int(key)
+            prev = entry.shard_tf.get(shard)
+            entry.shard_tf[shard] = value if prev is None else max(prev, value)
+
     def _note_fallen(self, server: str, threshold: int) -> None:
         prev = self._fallen.get(server)
         self._fallen[server] = threshold if prev is None else min(prev, threshold)
@@ -366,6 +432,19 @@ class RecoveryManager(ZkWatcherMixin, Node):
         if self.clients:
             tf = min(entry.threshold for entry in self.clients.values())
             self.global_tf = max(self.global_tf, tf)
+            if self.n_tm_shards > 1:
+                # Per-shard refinement: a client that never reported a
+                # shard value constrains that shard at its global T_F(c)
+                # (every shard report is >= the client's tf, so this is
+                # the conservative stand-in).
+                for s in range(self.n_tm_shards):
+                    floor = min(
+                        entry.shard_tf.get(s, entry.threshold)
+                        if entry.shard_tf
+                        else entry.threshold
+                        for entry in self.clients.values()
+                    )
+                    self.shard_tf[s] = max(self.shard_tf[s], floor)
         # Fallen incarnations floor T_P until the master's failure hook
         # arrives and pins their regions: advancing past them in the gap
         # would let the TM truncate log records their replay still needs.
@@ -373,10 +452,43 @@ class RecoveryManager(ZkWatcherMixin, Node):
         candidates.extend(self._fallen.values())
         if candidates:
             self.global_tp = max(self.global_tp, min(candidates))
+        if self.n_tm_shards > 1:
+            # Server persistence is tracked globally (servers cannot tell
+            # which TM shard a cell came from), so each shard's persisted
+            # threshold is its flushed threshold capped by the global T_P.
+            for s in range(self.n_tm_shards):
+                self.shard_tp[s] = max(
+                    self.shard_tp[s], min(self.shard_tf[s], self.global_tp)
+                )
 
     # ------------------------------------------------------------------
     # client failure recovery (Algorithm 2 "On failure(c)")
     # ------------------------------------------------------------------
+    def _fetch_all_logs(self, after_ts: int, client_id: Optional[str] = None,
+                        retry_on=(RpcError,)):
+        """Fetch replayable records from every TM shard, merged by commit
+        timestamp.  Cross-shard transactions contribute one disjoint slice
+        per owner shard that share a commit timestamp; replaying the
+        slices back-to-back (stable shard order within a timestamp) is
+        equivalent to replaying the whole write-set at once."""
+        merged: List[dict] = []
+        for tm in self.tm_addrs:
+            kwargs = {"after_ts": after_ts}
+            if client_id is not None:
+                kwargs["client_id"] = client_id
+            records = yield from self.call_with_retry(
+                tm,
+                "fetch_logs",
+                policy=RECOVERY_FETCH_RETRY,
+                timeout=10.0,
+                retry_on=retry_on,
+                **kwargs,
+            )
+            merged.extend(records)
+        if len(self.tm_addrs) > 1:
+            merged.sort(key=lambda record: record["commit_ts"])
+        return merged
+
     def _recover_client(self, client_id: str):
         entry = self.clients[client_id]
         span = self._tracer.begin("recovery.client_replay", client=client_id)
@@ -386,24 +498,23 @@ class RecoveryManager(ZkWatcherMixin, Node):
         # write-set that neither the client (about to self-terminate) nor
         # this replay would ever flush.  The fence makes the TM reject its
         # further commits and returns only once in-flight ones decide, so
-        # the fetch below is complete by construction.
-        yield from self.call_with_retry(
-            self.tm_addr,
-            "fence_client",
-            policy=RECOVERY_FETCH_RETRY,
-            timeout=10.0,
-            retry_on=(RpcError,),
-            client_id=client_id,
-        )
+        # the fetch below is complete by construction.  Under a sharded TM
+        # every shard is fenced before any log is read: a straggler commit
+        # racing the fences either decides before its coordinator shard's
+        # fence lands (and is then visible to that shard's fetch) or is
+        # rejected.
+        for tm in self.tm_addrs:
+            yield from self.call_with_retry(
+                tm,
+                "fence_client",
+                policy=RECOVERY_FETCH_RETRY,
+                timeout=10.0,
+                retry_on=(RpcError,),
+                client_id=client_id,
+            )
         fetch_span = span.child("recovery.log_fetch", client=client_id)
-        records = yield from self.call_with_retry(
-            self.tm_addr,
-            "fetch_logs",
-            policy=RECOVERY_FETCH_RETRY,
-            timeout=10.0,
-            retry_on=(RpcError,),
-            after_ts=entry.threshold,
-            client_id=client_id,
+        records = yield from self._fetch_all_logs(
+            entry.threshold, client_id=client_id, retry_on=(RpcError,)
         )
         fetch_span.end(records=len(records))
         for record in records:  # ascending commit-timestamp order
@@ -552,13 +663,8 @@ class RecoveryManager(ZkWatcherMixin, Node):
             "recovery.log_fetch", parent=detect_span, region=region
         )
         try:
-            records = yield from self.call_with_retry(
-                self.tm_addr,
-                "fetch_logs",
-                policy=RECOVERY_FETCH_RETRY,
-                timeout=10.0,
-                retry_on=(RpcTimeout,),
-                after_ts=tp_failed,
+            records = yield from self._fetch_all_logs(
+                tp_failed, retry_on=(RpcTimeout,)
             )
             fetch_span.end(records=len(records))
             replay_span = self._tracer.begin(
@@ -651,7 +757,7 @@ class RecoveryManager(ZkWatcherMixin, Node):
         Deprecated: thin shim over the registry -- prefer ``rpc_status``,
         which returns the uniform component envelope.
         """
-        return {
+        status = {
             "global_tf": self.global_tf,
             "global_tp": self.global_tp,
             "clients": {c: e.threshold for c, e in self.clients.items()},
@@ -666,10 +772,22 @@ class RecoveryManager(ZkWatcherMixin, Node):
             "alerts": len(self.alerts),
             **self.metrics()["counters"],
         }
+        if self.n_tm_shards > 1:
+            status["shards"] = {
+                str(s): {"tf": self.shard_tf[s], "tp": self.shard_tp[s]}
+                for s in range(self.n_tm_shards)
+            }
+        return status
 
     def rpc_status(self, sender: str) -> dict:
         """The uniform component status envelope (component/addr/metrics),
         with the global thresholds and pin state as extra fields."""
+        extra = {}
+        if self.n_tm_shards > 1:
+            extra["shards"] = {
+                str(s): {"tf": self.shard_tf[s], "tp": self.shard_tp[s]}
+                for s in range(self.n_tm_shards)
+            }
         return status_envelope(
             "rm",
             self.addr,
@@ -678,4 +796,5 @@ class RecoveryManager(ZkWatcherMixin, Node):
             global_tp=self.global_tp,
             pending_regions=len(self.pending_regions),
             alerts=len(self.alerts),
+            **extra,
         )

@@ -60,6 +60,13 @@ class ChaosSettings:
     # -- cluster shape ----------------------------------------------------
     n_servers: int = 3
     n_regions: int = 6
+    #: TM shard count (``txn.tm_shards``); 1 is the classic single TM and
+    #: reproduces the pre-sharding storms bit-for-bit.
+    tm_shards: int = 1
+    #: Kill-a-TM-shard injections inside the storm: each crashes one
+    #: randomly drawn TM shard and restarts it after a dwell, exercising
+    #: the non-blocking commit protocol's in-doubt resolution end to end.
+    tm_shard_kills: int = 0
 
     # -- ambient fabric chaos (active for the whole storm) ----------------
     loss_probability: float = 0.02
@@ -161,6 +168,23 @@ def kill_during_recovery_settings(**overrides) -> "ChaosSettings":
     return ChaosSettings(**base)
 
 
+def tm_shard_chaos_settings(**overrides) -> "ChaosSettings":
+    """The kill-a-TM-shard chaos profile.
+
+    The regular storm against a sharded transaction manager (2 shards by
+    default) plus one targeted TM-shard crash with a later restart.
+    Cross-shard transactions prepared on the dead shard must either abort
+    cleanly or complete via the decision registry once the shard's
+    recovery protocol runs; the settle gate additionally requires every
+    shard alive with zero in-doubt transactions, so a wedged (permanently
+    in-doubt) prepare fails the run as non-converged.  A longer settle
+    budget covers the shard's restart-and-resolve round.
+    """
+    base = dict(tm_shards=2, tm_shard_kills=1, settle=60.0)
+    base.update(overrides)
+    return ChaosSettings(**base)
+
+
 @dataclass
 class ChaosReport:
     """Everything one chaos run produced; equality is bit-for-bit."""
@@ -244,6 +268,7 @@ def build_chaos_cluster(seed: int, settings: ChaosSettings) -> SimCluster:
     config = ClusterConfig(seed=seed)
     config.kv.n_region_servers = settings.n_servers
     config.kv.n_regions = settings.n_regions
+    config.txn.tm_shards = settings.tm_shards
     config.kv.wal_sync_interval = 300.0
     config.workload.n_rows = settings.n_rows
     config.recovery.client_heartbeat_interval = 0.5
@@ -433,6 +458,20 @@ def run_chaos(
         proc = cluster.kernel.process(bring_up())
         proc.defuse()
 
+    def crash_tm_shard(i: int) -> None:
+        tm = cluster.tms[i]
+        if not tm.alive:
+            return
+        note(f"crash tm shard {tm.addr}")
+        cluster.crash_tm_shard(i)
+
+    def restart_tm_shard(i: int) -> None:
+        tm = cluster.tms[i]
+        if tm.alive:
+            return
+        note(f"restart tm shard {tm.addr}")
+        cluster.restart_tm_shard(i)
+
     def crash_client(i: int) -> None:
         node = writers[i].node
         if not node.alive:
@@ -527,7 +566,9 @@ def run_chaos(
         at = draw_in_storm(margin=1.0)
         dwell = rng.uniform(1.0, 2.5)
         addr = rng.choice(
-            [rs.addr for rs in cluster.servers] + ["tm", "zk"]
+            [rs.addr for rs in cluster.servers]
+            + [tm.addr for tm in cluster.tms]
+            + ["zk"]
         )
         factor = rng.uniform(2.0, s.degradation_factor)
         cluster.after(
@@ -540,6 +581,15 @@ def run_chaos(
         cluster.after(
             at - now, lambda v=victim, d=dwell: disk_fault_storm(v, d)
         )
+    if s.tm_shard_kills > 0 and len(cluster.tms) > 1:
+        for _ in range(s.tm_shard_kills):
+            at = draw_in_storm(margin=3.0)
+            dwell = rng.uniform(1.5, 3.0)
+            victim = rng.randrange(len(cluster.tms))
+            cluster.after(at - now, lambda v=victim: crash_tm_shard(v))
+            cluster.after(
+                at + dwell - now, lambda v=victim: restart_tm_shard(v)
+            )
 
     # -- kill-during-recovery watcher -------------------------------------
     # Crashes a *recipient* of an in-flight recovery plan: whenever the
@@ -610,6 +660,9 @@ def run_chaos(
     for i, rs in enumerate(cluster.servers):
         if not rs.alive:
             restart_machine(i)
+    for i, tm in enumerate(cluster.tms):
+        if not tm.alive:
+            restart_tm_shard(i)
 
     def janitor():
         # Servers can still die *after* the storm: a region server whose
@@ -649,6 +702,11 @@ def run_chaos(
             and not rm_st["recovering"]
             and all(cl_st["online"].values())
             and all(rs.alive for rs in cluster.servers)
+            # Sharded TM: every shard back up, nothing left in-doubt (a
+            # permanently in-doubt prepare would also freeze T_F via its
+            # reservation aborting the key's writers, but gate explicitly).
+            and all(tm.alive for tm in cluster.tms)
+            and not any(getattr(tm, "_prepared", None) for tm in cluster.tms)
         )
 
     deadline = cluster.kernel.now + s.settle
@@ -682,7 +740,7 @@ def run_chaos(
     except Exception as exc:  # a wedged cluster: report, don't explode
         report.violations = [f"audit aborted: {exc!r}"]
     report.net = cluster.net_stats()
-    report.tm = cluster.status("tm")
+    report.tm = cluster.status(cluster.tm.addr)
     report.storage = cluster.storage_stats()
 
     # -- consistency oracle -----------------------------------------------

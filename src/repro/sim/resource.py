@@ -118,7 +118,12 @@ class SimQueue:
         """Append ``item``; wakes the oldest waiting getter if any."""
         while self._getters:
             getter = self._getters.popleft()
-            if getter.triggered:  # cancelled getter
+            if getter.triggered or not getter.callbacks:
+                # Cancelled getter, or one whose waiting process was
+                # interrupted away (e.g. a group committer killed by a
+                # node crash): interrupt() detaches the resume callback
+                # but leaves the event pending, and handing the item to
+                # it would silently lose the item.
                 continue
             getter.succeed(item)
             return

@@ -39,20 +39,30 @@ from repro.storage import SalvageReport, checksum
 
 @dataclass
 class LogRecord:
-    """One committed write-set."""
+    """One committed write-set.
+
+    ``kind`` distinguishes record flavours in the sharded TM: "commit" is
+    a plain (whole or per-shard slice of a) committed write-set; "decision"
+    is a replicated cross-shard commit decision.  The wire form omits the
+    default kind so single-TM logs serialise exactly as before.
+    """
 
     commit_ts: int
     client_id: str
     cells_by_table: Dict[str, List[WireCell]]
     nbytes: int = 128
+    kind: str = "commit"
 
     def to_wire(self) -> dict:
         """Serialise for the fetch-logs RPC."""
-        return {
+        wire = {
             "commit_ts": self.commit_ts,
             "client_id": self.client_id,
             "cells_by_table": self.cells_by_table,
         }
+        if self.kind != "commit":
+            wire["kind"] = self.kind
+        return wire
 
     @staticmethod
     def from_wire(wire: dict) -> "LogRecord":
@@ -61,6 +71,7 @@ class LogRecord:
             commit_ts=wire["commit_ts"],
             client_id=wire["client_id"],
             cells_by_table=wire["cells_by_table"],
+            kind=wire.get("kind", "commit"),
         )
 
 
@@ -102,9 +113,20 @@ class LogStats:
 class RecoveryLog:
     """Append-only, group-committed, truncatable, checksummed commit log."""
 
-    def __init__(self, host: Node, settings: Optional[TxnSettings] = None) -> None:
+    def __init__(
+        self,
+        host: Node,
+        settings: Optional[TxnSettings] = None,
+        ordered: bool = True,
+    ) -> None:
         self.host = host
         self.settings = settings or TxnSettings()
+        #: Ordered logs (the single TM) enforce strictly ascending commit
+        #: timestamps -- appends arrive in oracle order.  TM *shards* store
+        #: records for their keyspace slice: cross-shard decision fan-out
+        #: can deliver timestamps out of order and more than once, so the
+        #: unordered mode bisect-inserts and dedups by commit_ts instead.
+        self.ordered = ordered
         disk_cfg = self.settings.log_disk
         self.disk = Disk(
             host.kernel,
@@ -179,6 +201,26 @@ class RecoveryLog:
             return
 
     def _store(self, record: LogRecord) -> None:
+        if not self.ordered:
+            # Shard mode: decision fan-out may repeat deliveries and land
+            # timestamps out of order; dedup by commit_ts, bisect-insert.
+            idx = bisect.bisect_left(self._timestamps, record.commit_ts)
+            if idx < len(self._timestamps) and self._timestamps[idx] == record.commit_ts:
+                return
+            frame = _Frame(seq=self._seq, crc=checksum(record.to_wire()))
+            self._seq += 1
+            if self.disk.corrupts_record():
+                frame.crc ^= 0x5A5A5A5A
+                self._damaged = True
+            self._records.insert(idx, record)
+            self._timestamps.insert(idx, record.commit_ts)
+            self._frames.insert(idx, frame)
+            if idx < self._durable_upto:
+                # Slid in under the durable watermark; keep the watermark
+                # covering the same genuinely-synced records.
+                self._durable_upto += 1
+            self.stats.appended += 1
+            return
         # Commit timestamps are assigned by a single oracle and appended in
         # assignment order, so this stays sorted; assert the invariant.
         if self._timestamps and record.commit_ts <= self._timestamps[-1]:
@@ -196,6 +238,19 @@ class RecoveryLog:
         self._frames.append(frame)
         self.stats.appended += 1
 
+    def restart(self) -> None:
+        """Bring the log back after its host node revived.
+
+        Queued-but-unsynced appends were already dropped at crash time
+        (see :meth:`on_host_crash`); anything in the queue *now* was
+        enqueued after the revive by a live waiter and must survive.
+        Salvage if the medium is damaged and respawn the committer over
+        the durable prefix.
+        """
+        if self._damaged:
+            self.salvage()
+        self.host.spawn(self._group_committer(), name="group-commit")
+
     # ------------------------------------------------------------------
     # crash semantics and salvage
     # ------------------------------------------------------------------
@@ -207,6 +262,11 @@ class RecoveryLog:
         the device tears, a prefix of them lands plus one half-written
         record that survives detectably torn.
         """
+        # Queued appends die here, not at restart: their waiters died
+        # with this crash, whereas an append enqueued between revive()
+        # and the restart call belongs to a live handler and a
+        # restart-time drain would orphan its done-event forever.
+        self._pending.drain()
         tail = len(self._records) - self._durable_upto
         if tail <= 0:
             return
@@ -336,3 +396,8 @@ class RecoveryLog:
     def truncated_below(self) -> int:
         """Everything below this timestamp has been discarded."""
         return self._truncated_below
+
+    @property
+    def last_ts(self) -> int:
+        """The newest retained commit timestamp (truncation floor if none)."""
+        return self._timestamps[-1] if self._timestamps else self._truncated_below

@@ -19,6 +19,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import TxnSettings
+from repro.errors import DiskWriteError
 from repro.metrics.registry import MetricsRegistry, status_envelope
 from repro.metrics.spans import tracer_for
 from repro.sim.events import Interrupt
@@ -26,12 +27,34 @@ from repro.sim.kernel import Kernel
 from repro.sim.network import Network
 from repro.sim.node import Node
 from repro.sim.resource import Resource
+from repro.sim.retry import RetryPolicy
 from repro.txn.concurrency import SICertifier
 from repro.txn.log import LogRecord, RecoveryLog
+from repro.txn.sharding import shard_of
 from repro.txn.timestamps import TimestampOracle
 
 #: A client-submitted write on the wire: (table, row, column, value).
 WireWrite = Tuple[str, str, str, object]
+
+#: Shard-to-shard RPC retry (prepare / decide / ts_next): bounded, so a
+#: coordinator stuck behind a dead peer eventually surfaces the failure to
+#: the client's own retry loop instead of hanging forever.
+SHARD_RPC_RETRY = RetryPolicy(
+    base_delay=0.05, multiplier=2.0, max_delay=1.0, jitter=0.2, max_attempts=5
+)
+
+#: Decision fan-out never gives up inside one attempt round; the outer
+#: loop in ``_fanout_decision`` keeps going until every participant has
+#: the outcome (the non-blocking guarantee's delivery arm).
+SHARD_FANOUT_RETRY = RetryPolicy(
+    base_delay=0.1, multiplier=2.0, max_delay=1.0, jitter=0.2, max_attempts=4
+)
+
+#: Oracle re-seed margin after an authority-shard crash: timestamps may
+#: have been granted (over ``ts_next``) and lost with their callers, so
+#: the reborn counter skips far past everything any survivor witnessed --
+#: re-minting an old timestamp would fabricate duplicate commit stamps.
+TS_RESEED_MARGIN = 100_000
 
 
 class TransactionManager(Node):
@@ -46,17 +69,29 @@ class TransactionManager(Node):
         settings: Optional[TxnSettings] = None,
         shared_cpu: Optional[Resource] = None,
         logger_shards: Optional[List[str]] = None,
+        shard_index: int = 0,
+        shard_addrs: Optional[List[str]] = None,
     ) -> None:
         super().__init__(kernel, net, addr)
         self.settings = settings or TxnSettings()
+        #: Sharded-TM topology.  ``shard_addrs`` lists every TM shard
+        #: (authority first); ``None`` is the classic single TM and keeps
+        #: every hot path bit-identical to the unsharded schedule.
+        self.shard_index = shard_index
+        self.shard_addrs = list(shard_addrs) if shard_addrs else None
+        self.n_shards = len(self.shard_addrs) if self.shard_addrs else 1
+        #: Shard 0 is the timestamp authority and decision registrar.
+        self.is_authority = shard_index == 0
         self.oracle = TimestampOracle()
         self.certifier = SICertifier(horizon=self.settings.certification_horizon)
         if logger_shards:
+            if self.n_shards > 1:
+                raise ValueError("tm_shards > 1 is incompatible with log_shards")
             from repro.txn.loggers import DistributedRecoveryLog
 
             self.log = DistributedRecoveryLog(self, logger_shards, self.settings)
         else:
-            self.log = RecoveryLog(self, self.settings)
+            self.log = RecoveryLog(self, self.settings, ordered=self.n_shards == 1)
         self.cpu = shared_cpu or Resource(kernel, capacity=self.settings.rpc_workers)
         self._txn_ids = itertools.count(1)
         #: Registry behind all TM statistics (see ``metrics()``).
@@ -95,6 +130,51 @@ class TransactionManager(Node):
         # commit that will ever be acknowledged to that client.
         self._fenced: set = set()
         self._inflight_commits: Dict[str, int] = {}
+        if self.n_shards > 1:
+            if self.settings.snapshot_visibility == "flushed":
+                raise ValueError(
+                    "tm_shards > 1 requires snapshot_visibility='latest'"
+                )
+            # Highest commit timestamp this shard has witnessed anywhere
+            # (grants, decisions, peers) -- the authority re-seed floor.
+            self._max_seen_ts = 0
+            # Keys held by prepared-but-undecided transactions: certifying
+            # against a reserved key conflicts, so an in-doubt write-set
+            # can never be silently overwritten while its fate is open.
+            self._reserved: Dict[Tuple[str, str, str], Tuple[str, int]] = {}
+            # The durable prepare journal (stable storage: survives a
+            # crash).  One entry per prepared-here transaction, dropped
+            # when its decision is applied.
+            self._prepared: Dict[Tuple[str, int], dict] = {}
+            # Decisions already applied to this shard's slice, for
+            # idempotent duplicate decision deliveries.
+            self._applied: "OrderedDict[Tuple[str, int], dict]" = OrderedDict()
+            # Authority only: the durable first-writer-wins decision
+            # registry -- the replicated commit decision of Gray &
+            # Lamport's non-blocking commit, collapsed onto the authority
+            # shard's stable storage.  Any participant (or the recovery
+            # manager, transitively) can finish an in-doubt transaction
+            # by racing an abort proposal against the coordinator here.
+            self._registry: "OrderedDict[Tuple[str, int], dict]" = OrderedDict()
+            self._registry_gates: Dict[Tuple[str, int], object] = {}
+            (
+                self._n_prepares,
+                self._n_decide_commits,
+                self._n_decide_aborts,
+                self._n_cross_shard_commits,
+                self._n_decisions_applied,
+                self._n_indoubt_resolved,
+                self._n_ts_grants,
+            ) = self.registry.counters(
+                "prepares",
+                "decide_commits",
+                "decide_aborts",
+                "cross_shard_commits",
+                "decisions_applied",
+                "indoubt_resolved",
+                "ts_grants",
+            )
+            self.spawn(self._indoubt_resolver(), name="indoubt-resolver")
 
     # ------------------------------------------------------------------
     # transaction lifecycle
@@ -206,6 +286,12 @@ class TransactionManager(Node):
             certify_span.end(outcome="read_only")
             return {"status": "committed", "commit_ts": start_ts, "read_only": True}
 
+        if self.n_shards > 1:
+            reply = yield from self._decide_commit_sharded(
+                client_id, txn_id, start_ts, writes, log_commit, certify_span
+            )
+            return reply
+
         keys = [(table, row, column) for table, row, column, _value in writes]
         conflict = self.certifier.certify(start_ts, keys)
         if conflict is not None:
@@ -238,6 +324,501 @@ class TransactionManager(Node):
             yield self.log.append(record)
             append_span.end()
         return {"status": "committed", "commit_ts": commit_ts}
+
+    # ------------------------------------------------------------------
+    # sharded commit protocol (tm_shards > 1 only)
+    # ------------------------------------------------------------------
+    def _decide_commit_sharded(
+        self,
+        client_id: str,
+        txn_id: int,
+        start_ts: int,
+        writes: List[WireWrite],
+        log_commit: bool,
+        certify_span,
+    ):
+        """Route one update commit through the sharded protocol.
+
+        Single-shard write-sets (all keys owned here) commit locally --
+        certification, a commit stamp from the authority, a slice log
+        record -- exactly the classic path plus the timestamp fetch.
+        Cross-shard write-sets run the non-blocking 2PC variant with this
+        shard as coordinator.
+        """
+        key = (client_id, txn_id)
+        applied = self._applied.get(key)
+        if applied is not None:
+            # A resolver (or an earlier incarnation of this coordinator)
+            # already finished this transaction; honour that outcome.
+            certify_span.end(outcome=applied["outcome"])
+            return self._reply_from_outcome(applied)
+        slices: Dict[int, List[WireWrite]] = {}
+        for write in writes:
+            slices.setdefault(
+                shard_of(write[0], write[1], self.n_shards), []
+            ).append(write)
+        if set(slices) == {self.shard_index}:
+            reply = yield from self._commit_here(
+                key, start_ts, writes, log_commit, certify_span
+            )
+            return reply
+        reply = yield from self._coordinate_cross_shard(
+            key, start_ts, slices, certify_span
+        )
+        return reply
+
+    @staticmethod
+    def _reply_from_outcome(outcome: dict) -> dict:
+        if outcome["outcome"] == "commit":
+            return {"status": "committed", "commit_ts": outcome["commit_ts"]}
+        return {"status": "aborted", "conflict_key": outcome.get("conflict_key")}
+
+    def _certify_sharded(self, start_ts: int, keys, txn_key):
+        """Certification plus the reservation check: a key held by another
+        prepared-but-undecided transaction conflicts conservatively."""
+        for wkey in keys:
+            holder = self._reserved.get(wkey)
+            if holder is not None and holder != txn_key:
+                self.certifier.conflicts += 1
+                return wkey
+        return self.certifier.certify(start_ts, keys)
+
+    def _reserve(self, keys, txn_key) -> None:
+        for wkey in keys:
+            self._reserved[wkey] = txn_key
+
+    def _release(self, keys, txn_key) -> None:
+        for wkey in keys:
+            if self._reserved.get(wkey) == txn_key:
+                del self._reserved[wkey]
+
+    def _note_ts(self, ts: Optional[int]) -> None:
+        if ts is not None and ts > self._max_seen_ts:
+            self._max_seen_ts = ts
+
+    def _durable_write(self, nbytes: int):
+        """Sync ``nbytes`` to this shard's log device, riding out
+        transient write errors (the group committer's policy)."""
+        while True:
+            try:
+                yield from self.log.disk.sync_write(nbytes)
+                return
+            except DiskWriteError:
+                yield self.sleep(self.settings.group_commit_interval or 0.001)
+
+    def _commit_here(self, key, start_ts, writes, log_commit, certify_span):
+        """Commit a write-set owned entirely by this shard."""
+        client_id, _txn_id = key
+        keys = [(table, row, column) for table, row, column, _value in writes]
+        conflict = self._certify_sharded(start_ts, keys, key)
+        if conflict is not None:
+            self._n_aborts.inc()
+            certify_span.end(outcome="aborted")
+            return {"status": "aborted", "conflict_key": list(conflict)}
+        if self.is_authority:
+            commit_ts = self.oracle.next()
+            self._note_ts(commit_ts)
+        else:
+            # Hold the keys while fetching the stamp so a concurrent
+            # certification cannot slip a conflicting commit in between.
+            self._reserve(keys, key)
+            try:
+                commit_ts = yield from self.call_with_retry(
+                    self.shard_addrs[0], "ts_next",
+                    policy=SHARD_RPC_RETRY, timeout=5.0,
+                )
+            except BaseException:
+                self._release(keys, key)
+                raise
+            self._release(keys, key)
+            self._note_ts(commit_ts)
+        self.certifier.record(commit_ts, keys)
+        self._n_commits.inc()
+        certify_span.end(outcome="committed")
+        if log_commit:
+            cells_by_table: Dict[str, List] = {}
+            for table, row, column, value in writes:
+                cells_by_table.setdefault(table, []).append(
+                    (row, column, commit_ts, value)
+                )
+            record = LogRecord(
+                commit_ts=commit_ts,
+                client_id=client_id,
+                cells_by_table=cells_by_table,
+                nbytes=max(96 * len(writes), 96),
+            )
+            append_span = certify_span.child("commit.log_append")
+            yield self.log.append(record)
+            append_span.end()
+        return {"status": "committed", "commit_ts": commit_ts}
+
+    def _coordinate_cross_shard(self, key, start_ts, slices, certify_span):
+        """Coordinate a cross-shard commit (this shard = lowest owner).
+
+        Stage 1: prepare every owner slice (durable journal + key
+        reservations).  Stage 2: register the decision at the authority's
+        first-writer-wins registry -- the single durable fact that
+        decides the transaction.  Stage 3: apply the own slice (ack
+        point) and fan the decision out to the other owners in the
+        background.  A crash at any stage leaves participants able to
+        finish via the registry; no stage blocks on this coordinator
+        surviving.
+        """
+        client_id, txn_id = key
+        own = slices.get(self.shard_index)
+        outcome, conflict, decided = "commit", None, None
+        if own is not None:
+            local = yield from self._prepare_here(
+                key, start_ts, own, coordinator=self.addr
+            )
+            if local["status"] == "aborted":
+                outcome, conflict = "abort", local.get("conflict_key")
+            elif local["status"] == "decided":
+                decided = local
+        if outcome == "commit" and decided is None:
+            for index in sorted(slices):
+                if index == self.shard_index:
+                    continue
+                reply = yield from self.call_with_retry(
+                    self.shard_addrs[index], "prepare",
+                    policy=SHARD_RPC_RETRY, timeout=5.0,
+                    size=max(96 * len(slices[index]), 96),
+                    client_id=client_id, txn_id=txn_id,
+                    start_ts=start_ts, writes=slices[index],
+                )
+                if reply["status"] == "aborted":
+                    outcome, conflict = "abort", reply.get("conflict_key")
+                    break
+                if reply["status"] == "decided":
+                    decided = reply
+                    break
+        proposal = decided["outcome"] if decided is not None else outcome
+        if self.is_authority:
+            decision = yield from self._register_decision(key, proposal)
+        else:
+            decision = yield from self.call_with_retry(
+                self.shard_addrs[0], "decide",
+                policy=SHARD_RPC_RETRY, timeout=5.0,
+                client_id=client_id, txn_id=txn_id, outcome=proposal,
+            )
+            self._note_ts(decision.get("commit_ts"))
+        # Ack point: the decision is durably registered and (below) the
+        # local slice is durable.  Delivery to the other owners rides a
+        # background process that outlives this RPC.
+        yield from self._apply_decision(key, decision)
+        others = [
+            self.shard_addrs[index]
+            for index in sorted(slices)
+            if index != self.shard_index
+        ]
+        if others:
+            fanout = self.spawn(
+                self._fanout_decision(key, decision, others),
+                name="decision-fanout",
+            )
+            fanout.defuse()
+        if decision["outcome"] == "commit":
+            self._n_commits.inc()
+            self._n_cross_shard_commits.inc()
+            certify_span.end(outcome="committed")
+            return {"status": "committed", "commit_ts": decision["commit_ts"]}
+        self._n_aborts.inc()
+        certify_span.end(outcome="aborted")
+        return {
+            "status": "aborted",
+            "conflict_key": list(conflict) if conflict is not None else None,
+        }
+
+    def _prepare_here(self, key, start_ts, writes, coordinator):
+        """Certify and durably journal one owner slice (stage 1)."""
+        applied = self._applied.get(key)
+        if applied is not None:
+            return dict(applied, status="decided")
+        if key in self._prepared:
+            return {"status": "prepared"}
+        keys = [(table, row, column) for table, row, column, _value in writes]
+        conflict = self._certify_sharded(start_ts, keys, key)
+        if conflict is not None:
+            return {"status": "aborted", "conflict_key": list(conflict)}
+        self._reserve(keys, key)
+        try:
+            yield from self._durable_write(max(96 * len(writes), 96))
+        except BaseException:
+            self._release(keys, key)
+            raise
+        # Journalled only after the sync: durable iff the platter has it.
+        self._prepared[key] = {
+            "client_id": key[0],
+            "txn_id": key[1],
+            "start_ts": start_ts,
+            "writes": [tuple(write) for write in writes],
+            "coordinator": coordinator,
+            "t": self.kernel.now,
+        }
+        self._n_prepares.inc()
+        return {"status": "prepared"}
+
+    def rpc_prepare(self, sender, client_id, txn_id, start_ts, writes):
+        """Participant side of stage 1."""
+        yield from self.cpu.use(self.settings.op_service_time)
+        self._note_ts(start_ts)
+        reply = yield from self._prepare_here(
+            (client_id, txn_id), start_ts,
+            [tuple(write) for write in writes], coordinator=sender,
+        )
+        return reply
+
+    def _register_decision(self, key, proposal):
+        """First-writer-wins durable decision registration (stage 2).
+
+        The first proposal to reach stable storage -- the coordinator's
+        commit or a resolver's presumed abort -- IS the transaction's
+        outcome; every later proposal gets that original back.  Commit
+        outcomes take their globally-ordered stamp here, from the
+        authority's oracle.
+        """
+        entry = self._registry.get(key)
+        if entry is not None:
+            return dict(entry)
+        gate = self._registry_gates.get(key)
+        if gate is not None:
+            entry = yield gate
+            return dict(entry)
+        gate = self.kernel.event()
+        self._registry_gates[key] = gate
+        try:
+            entry = {"outcome": proposal, "commit_ts": None}
+            if proposal == "commit":
+                entry["commit_ts"] = self.oracle.next()
+                self._note_ts(entry["commit_ts"])
+            yield from self._durable_write(128)
+        except BaseException as exc:
+            self._registry_gates.pop(key, None)
+            if not gate.triggered and not isinstance(exc, Interrupt):
+                gate.fail(exc)
+            raise
+        self._registry[key] = entry
+        while len(self._registry) > self.settings.commit_cache_size:
+            self._registry.popitem(last=False)
+        if proposal == "commit":
+            self._n_decide_commits.inc()
+        else:
+            self._n_decide_aborts.inc()
+        self._registry_gates.pop(key, None)
+        gate.succeed(dict(entry))
+        return dict(entry)
+
+    def rpc_decide(self, sender, client_id, txn_id, outcome):
+        """Registrar RPC: coordinator's proposal or a resolver's abort."""
+        if not self.is_authority:
+            raise ValueError(f"{self.addr} is not the decision registrar")
+        yield from self.cpu.use(self.settings.op_service_time)
+        decision = yield from self._register_decision(
+            (client_id, txn_id), outcome
+        )
+        return decision
+
+    def rpc_ts_next(self, sender):
+        """Authority RPC: one globally-ordered commit timestamp."""
+        if not self.is_authority:
+            raise ValueError(f"{self.addr} is not the timestamp authority")
+        yield from self.cpu.use(self.settings.op_service_time)
+        self._n_ts_grants.inc()
+        ts = self.oracle.next()
+        self._note_ts(ts)
+        return ts
+
+    def _apply_decision(self, key, decision):
+        """Apply a registered decision to this shard's slice (stage 3).
+
+        Idempotent under duplicate deliveries and crash-safe: the prepare
+        journal entry (and its reservations) survive until the slice
+        record is durable, so a crash mid-apply leaves the transaction
+        resolvable, never half-applied.
+        """
+        if key in self._applied:
+            return
+        entry = self._prepared.get(key)
+        if decision["outcome"] == "commit" and entry is not None:
+            commit_ts = decision["commit_ts"]
+            self._note_ts(commit_ts)
+            cells_by_table: Dict[str, List] = {}
+            for table, row, column, value in entry["writes"]:
+                cells_by_table.setdefault(table, []).append(
+                    (row, column, commit_ts, value)
+                )
+            record = LogRecord(
+                commit_ts=commit_ts,
+                client_id=entry["client_id"],
+                cells_by_table=cells_by_table,
+                nbytes=max(96 * len(entry["writes"]), 96),
+            )
+            yield self.log.append(record)
+            keys = [
+                (table, row, column)
+                for table, row, column, _value in entry["writes"]
+            ]
+            self.certifier.record(commit_ts, keys)
+        if entry is not None:
+            self._prepared.pop(key, None)
+            keys = [
+                (table, row, column)
+                for table, row, column, _value in entry["writes"]
+            ]
+            self._release(keys, key)
+            self._n_decisions_applied.inc()
+        self._applied[key] = {
+            "outcome": decision["outcome"],
+            "commit_ts": decision.get("commit_ts"),
+        }
+        while len(self._applied) > self.settings.commit_cache_size:
+            self._applied.popitem(last=False)
+
+    def rpc_decision(self, sender, client_id, txn_id, outcome, commit_ts=None):
+        """Participant side of stage 3 (fan-out delivery).  Duplicate
+        deliveries -- fabric duplicates or coordinator retries -- are
+        absorbed by ``_apply_decision``'s idempotence."""
+        yield from self.cpu.use(self.settings.op_service_time)
+        yield from self._apply_decision(
+            (client_id, txn_id),
+            {"outcome": outcome, "commit_ts": commit_ts},
+        )
+        return True
+
+    def _fanout_decision(self, key, decision, addrs):
+        """Deliver the decision to every other owner, retrying forever."""
+        client_id, txn_id = key
+        for addr in addrs:
+            while True:
+                try:
+                    yield from self.call_with_retry(
+                        addr, "decision",
+                        policy=SHARD_FANOUT_RETRY, timeout=5.0,
+                        client_id=client_id, txn_id=txn_id,
+                        outcome=decision["outcome"],
+                        commit_ts=decision.get("commit_ts"),
+                    )
+                    break
+                except Interrupt:
+                    return
+                except Exception:
+                    yield self.sleep(0.25)
+        self.registry.counter("decision_fanouts").inc()
+
+    def _indoubt_resolver(self):
+        """Background arm of the non-blocking guarantee: any prepared
+        transaction whose decision has not arrived within the timeout is
+        resolved against the registry by proposing abort -- if the
+        coordinator's commit got there first, that is what comes back."""
+        try:
+            while True:
+                yield self.sleep(
+                    max(self.settings.indoubt_resolve_timeout / 2, 0.05)
+                )
+                yield from self._resolve_indoubt(
+                    min_age=self.settings.indoubt_resolve_timeout
+                )
+        except Interrupt:
+            return
+
+    def _resolve_indoubt(self, min_age: float = 0.0):
+        now = self.kernel.now
+        for key, entry in list(self._prepared.items()):
+            if key not in self._prepared:
+                continue  # a decision landed while we resolved others
+            if now - entry["t"] < min_age:
+                continue
+            try:
+                if self.is_authority:
+                    decision = yield from self._register_decision(key, "abort")
+                else:
+                    decision = yield from self.call_with_retry(
+                        self.shard_addrs[0], "decide",
+                        policy=SHARD_RPC_RETRY, timeout=5.0,
+                        client_id=key[0], txn_id=key[1], outcome="abort",
+                    )
+                    self._note_ts(decision.get("commit_ts"))
+            except Interrupt:
+                raise
+            except Exception:
+                continue  # registrar unreachable; next pass retries
+            yield from self._apply_decision(key, decision)
+            self._n_indoubt_resolved.inc()
+
+    def _latest_known_ts(self) -> int:
+        latest = max(self.oracle.current(), self._max_seen_ts)
+        last_logged = getattr(self.log, "last_ts", 0)
+        return max(latest, last_logged)
+
+    def on_crash(self) -> None:
+        """Drop the volatile coordination gates *at* crash time.
+
+        Interrupted handlers normally unwind their own gates, but a
+        handler killed without unwinding (or a counter it held) must not
+        survive into the next incarnation: a request arriving between
+        revive() and the spawned restart process's first step would park
+        forever on a dead gate, or a stale in-flight count would wedge
+        ``fence_client``.  Clearing here instead of in :meth:`restart`
+        also closes the converse race -- a restart-time clear would wipe
+        gates those early post-revive handlers legitimately own.
+        """
+        self._deciding.clear()
+        self._inflight_commits.clear()
+        if self.n_shards > 1:
+            self._registry_gates.clear()
+
+    def restart(self):
+        """Revive this shard after a crash (generator; spawn post-revive).
+
+        Durable state -- the commit log, the prepare journal, the
+        decision registry -- survived the crash; this rebuilds everything
+        volatile: the group committer, key reservations (mirroring the
+        journal), the certification window (from retained log records,
+        floored at the truncation point so stale snapshots abort
+        conservatively), and, on the authority, a timestamp counter
+        re-seeded safely past every timestamp any survivor has seen.
+        """
+        self.log.restart()
+        self._reserved = {}
+        for key, entry in self._prepared.items():
+            for table, row, column, _value in entry["writes"]:
+                self._reserved[(table, row, column)] = key
+        certifier = SICertifier(horizon=self.settings.certification_horizon)
+        certifier._floor_ts = self.log.truncated_below
+        for record in self.log.fetch(0):
+            keys = [
+                (table, row, column)
+                for table, cells in sorted(record.cells_by_table.items())
+                for row, column, _ts, _value in cells
+            ]
+            certifier.record(record.commit_ts, keys)
+        self.certifier = certifier
+        if self.is_authority:
+            # Local re-seed first so requests arriving mid-restart are
+            # already safe; peers can only push the counter higher.
+            self.oracle = TimestampOracle(
+                start=self._latest_known_ts() + TS_RESEED_MARGIN
+            )
+        self.spawn(self._indoubt_resolver(), name="indoubt-resolver")
+        peer_latest = 0
+        for addr in self.shard_addrs:
+            if addr == self.addr:
+                continue
+            try:
+                seen = yield from self.call_with_retry(
+                    addr, "latest_ts", policy=SHARD_RPC_RETRY, timeout=5.0
+                )
+                peer_latest = max(peer_latest, seen)
+            except Interrupt:
+                raise
+            except Exception:
+                continue
+        self._note_ts(peer_latest)
+        if self.is_authority and peer_latest >= self.oracle.current():
+            self.oracle = TimestampOracle(start=peer_latest + TS_RESEED_MARGIN)
+        self.registry.counter("restarts").inc()
+        # Anything the crash left prepared-but-undecided resolves now.
+        yield from self._resolve_indoubt(min_age=0.0)
 
     def rpc_flushed(self, sender: str, commit_ts: int) -> None:
         """Flush-completion report (cast by clients and the recovery
@@ -291,7 +872,15 @@ class TransactionManager(Node):
     def rpc_fetch_logs(
         self, sender: str, after_ts: int, client_id: Optional[str] = None
     ):
-        """The ``fetchlogs`` call of Algorithms 2 and 4."""
+        """The ``fetchlogs`` call of Algorithms 2 and 4.
+
+        On a TM shard, every in-doubt prepared transaction is resolved
+        against the decision registry *first*: a commit decided but not
+        yet fanned out lands in the log before the fetch answers, so
+        recovery replay never misses an acknowledged slice.
+        """
+        if self.n_shards > 1 and self._prepared:
+            yield from self._resolve_indoubt(min_age=0.0)
         records = yield from self.log.fetch_gen(after_ts, client_id=client_id)
         return [r.to_wire() for r in records]
 
@@ -301,11 +890,18 @@ class TransactionManager(Node):
         return dropped
 
     def rpc_latest_ts(self, sender: str) -> int:
-        """The newest allocated timestamp."""
+        """The newest timestamp this node knows of.  A shard answers with
+        everything it has *witnessed* (grants, decisions, logged slices),
+        which is what the authority's crash re-seed needs from peers."""
+        if self.n_shards > 1:
+            return self._latest_known_ts()
         return self.oracle.current()
 
     def metrics(self) -> dict:
         """Uniform registry snapshot for the transaction manager."""
+        if self.n_shards > 1:
+            self.registry.gauge("indoubt").set(len(self._prepared))
+            self.registry.gauge("reserved").set(len(self._reserved))
         return self.registry.snapshot()
 
     def _log_fields(self):

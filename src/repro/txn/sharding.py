@@ -1,0 +1,34 @@
+"""Keyspace partitioning for the sharded transaction manager.
+
+With ``txn.tm_shards = N > 1`` the certification keyspace is split into N
+hash slices; shard ``tm{i}`` owns slice ``i``.  Both the client (to route
+single-shard commits and to partition cross-shard write-sets) and the
+shards themselves (to validate ownership) use the same pure function, so
+ownership is a property of the key alone and never needs coordination.
+
+Columns of one row always co-locate: the hash covers ``table|row`` only,
+so a row's cells can never straddle shards and per-row read-modify-write
+transactions stay single-shard.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List
+
+
+def shard_addr(index: int) -> str:
+    """Wire address of TM shard ``index`` (``tm0``, ``tm1``, ...)."""
+    return f"tm{index}"
+
+
+def shard_addrs(n_shards: int) -> List[str]:
+    """Addresses of all ``n_shards`` TM shards, authority (``tm0``) first."""
+    return [shard_addr(i) for i in range(n_shards)]
+
+
+def shard_of(table: str, row: str, n_shards: int) -> int:
+    """The shard index owning ``(table, row)`` -- deterministic, seedless."""
+    if n_shards <= 1:
+        return 0
+    return zlib.crc32(f"{table}|{row}".encode()) % n_shards

@@ -41,10 +41,12 @@ class H:
         return self._emit("write", txn=txn, client=txn.split(":")[0],
                           table=T, row=row, column=col, value=value, at=at)
 
-    def attempt(self, txn, start_ts, writes, at=0.8):
-        return self._emit("commit_attempt", txn=txn,
-                          client=txn.split(":")[0], start_ts=start_ts,
-                          writes=[list(w) for w in writes], at=at)
+    def attempt(self, txn, start_ts, writes, at=0.8, owners=None):
+        fields = dict(client=txn.split(":")[0], start_ts=start_ts,
+                      writes=[list(w) for w in writes])
+        if owners is not None:  # sharded TM: per-write owner shards
+            fields["owners"] = list(owners)
+        return self._emit("commit_attempt", txn=txn, at=at, **fields)
 
     def commit(self, txn, start_ts, commit_ts, read_only=False, at=1.0):
         return self._emit("commit", txn=txn, client=txn.split(":")[0],
@@ -228,6 +230,78 @@ def test_scan_rows_are_checked():
     assert kinds(h.events) == ["value_mismatch"]
 
 
+def cross_shard_commit(h, txn, start_ts, commit_ts, flush_at=None):
+    """A two-slice write-set whose rows live on different TM shards."""
+    h.begin(txn, start_ts)
+    h.write(txn, "r1", "a")
+    h.write(txn, "r2", "a")
+    h.attempt(txn, start_ts,
+              [(T, "r1", "f", "a"), (T, "r2", "f", "a")], owners=[0, 1])
+    h.commit(txn, start_ts, commit_ts)
+    if flush_at is not None:
+        h.flushed(txn, commit_ts, at=flush_at)
+    return h
+
+
+def test_cross_shard_atomicity_detected():
+    # Shard 0's slice (r1) is visible at the reader's snapshot, shard 1's
+    # (r2) is not, after the flush completed: a torn cross-shard commit.
+    h = H()
+    cross_shard_commit(h, "w0:1", 0, 5, flush_at=1.0)
+    h.begin("r:1", 9, at=1.5)
+    h.read("r:1", 9, "r1", 5, "a", at=2.0)
+    h.read("r:1", 9, "r2", 0, "init", at=2.5)
+    assert "cross_shard_atomicity" in kinds(h.events)
+
+
+def test_cross_shard_commit_fully_visible_passes():
+    h = H()
+    cross_shard_commit(h, "w0:1", 0, 5, flush_at=1.0)
+    h.begin("r:1", 9, at=1.5)
+    h.read("r:1", 9, "r1", 5, "a", at=2.0)
+    h.read("r:1", 9, "r2", 5, "a", at=2.5)
+    report = SIChecker(h.events).check()
+    assert report.ok, report.anomalies
+    assert report.counters["cross_shard_txns"] == 1
+
+
+def test_unflushed_cross_shard_commit_may_be_missed():
+    # Same torn read pattern, but the flush has not finished: under
+    # "latest" visibility neither slice is observably in the store yet,
+    # so a miss is legitimate (mirrors the unsharded stale-read gate).
+    h = H()
+    cross_shard_commit(h, "w0:1", 0, 5)  # committed, never flushed
+    h.begin("r:1", 9, at=1.5)
+    h.read("r:1", 9, "r1", 5, "a", at=2.0)
+    h.read("r:1", 9, "r2", 0, "init", at=2.5)
+    assert "cross_shard_atomicity" not in kinds(h.events)
+
+
+def test_single_shard_write_set_not_audited_for_atomicity():
+    # All writes on one shard: the classic rules apply, the cross-shard
+    # pass has nothing to say even though owners metadata is present.
+    h = H()
+    h.begin("w0:1", 0)
+    h.write("w0:1", "r1", "a")
+    h.attempt("w0:1", 0, [(T, "r1", "f", "a")], owners=[1])
+    h.commit("w0:1", 0, 5)
+    h.flushed("w0:1", 5, at=1.0)
+    h.begin("r:1", 9, at=1.5).read("r:1", 9, "r1", 5, "a", at=2.0)
+    report = SIChecker(h.events).check()
+    assert report.ok, report.anomalies
+    assert report.counters["cross_shard_txns"] == 0
+
+
+def test_unsharded_history_report_carries_no_cross_shard_counter():
+    # No owners metadata anywhere: the checker must not even mention the
+    # cross-shard pass, keeping pre-sharding reports byte-identical.
+    h = H()
+    h.committed_write("w0:1", 0, 5, "r1", "a", flush_at=1.0)
+    report = SIChecker(h.events).check()
+    assert report.ok
+    assert "cross_shard_txns" not in report.counters
+
+
 def test_report_is_deterministic():
     h = H()
     h.committed_write("w0:1", 0, 5, "r1", "a", flush_at=1.0)
@@ -359,3 +433,68 @@ def test_rm_restart_resets_global_watermarks():
     memory = {}
     evaluate_invariants(state(rm=rm_state(tf=10, tp=8, epoch=1)), memory)
     assert vkinds(state(rm=rm_state(tf=0, tp=0, epoch=2)), memory) == []
+
+
+# ----------------------------------------------------------------------
+# per-shard threshold fixtures (sharded TM)
+# ----------------------------------------------------------------------
+def sharded_rm(tf=10, tp=8, epoch=1, shards=None):
+    st = rm_state(tf=tf, tp=tp, epoch=epoch)
+    st["shards"] = shards if shards is not None else {
+        "0": {"tf": tf, "tp": tp}, "1": {"tf": tf, "tp": tp}}
+    return st
+
+
+def test_sharded_clean_state_passes():
+    st = state(
+        rm=sharded_rm(tf=10, tp=8),
+        tm={"truncated_below": 7, "shards": {"0": 7, "1": 6}},
+    )
+    assert vkinds(st, {}) == []
+
+
+def test_shard_tp_above_tf_flagged():
+    st = state(rm=sharded_rm(shards={
+        "0": {"tf": 10, "tp": 8}, "1": {"tf": 5, "tp": 9}}))
+    assert vkinds(st) == ["shard_tp_le_tf"]
+
+
+def test_shard_tf_regression_flagged():
+    memory = {}
+    assert vkinds(state(rm=sharded_rm(shards={
+        "0": {"tf": 10, "tp": 5}})), memory) == []
+    assert vkinds(state(rm=sharded_rm(shards={
+        "0": {"tf": 6, "tp": 5}})), memory) == ["shard_tf_monotone"]
+
+
+def test_shard_tp_regression_flagged():
+    memory = {}
+    assert vkinds(state(rm=sharded_rm(shards={
+        "0": {"tf": 10, "tp": 8}})), memory) == []
+    assert vkinds(state(rm=sharded_rm(shards={
+        "0": {"tf": 10, "tp": 4}})), memory) == ["shard_tp_monotone"]
+
+
+def test_rm_restart_resets_shard_watermarks():
+    memory = {}
+    evaluate_invariants(state(rm=sharded_rm(epoch=1, shards={
+        "0": {"tf": 10, "tp": 8}})), memory)
+    # New RM incarnation rebuilds thresholds from scratch: a lower
+    # per-shard T_F/T_P is legitimate, exactly as for the globals.
+    assert vkinds(state(rm=sharded_rm(tf=0, tp=0, epoch=2, shards={
+        "0": {"tf": 0, "tp": 0}})), memory) == []
+
+
+def test_shard_truncation_past_tp_flagged():
+    st = state(
+        rm=sharded_rm(shards={"1": {"tf": 10, "tp": 5}}),
+        tm={"truncated_below": 0, "shards": {"1": 8}},
+    )
+    assert vkinds(st) == ["shard_truncation_le_tp"]
+
+
+def test_unsharded_state_skips_shard_rules():
+    # The classic state shape (no "shards" key) must never trip the
+    # sharded refinements, whatever the memory holds.
+    memory = {"shard_tf_wm": {"0": 99}, "shard_tp_wm": {"0": 99}}
+    assert vkinds(state(rm=rm_state(tf=10, tp=8)), memory) == []

@@ -4,10 +4,19 @@ Under a lossy fabric a client whose commit *response* vanished must
 retry; the retry reaches the handler with a fresh request id, so the
 transport dedup cannot help.  The transaction manager therefore caches
 the verdict per ``(client_id, txn_id)`` and replays it.
+
+The sharded protocol adds two more delivery paths that must be equally
+idempotent: decision fan-out to participants (``rpc_decision``, absorbed
+by the applied-decisions cache) and outcome proposals at the authority's
+registry (``rpc_decide``, first writer wins).  Duplicates of either --
+fabric copies, coordinator retries, a resolver racing a late fan-out --
+must neither re-append a slice record nor re-stamp the transaction.
 """
 
+from repro.config import TxnSettings
 from repro.sim import Kernel, Network, Node
 from repro.txn.manager import TransactionManager
+from repro.txn.sharding import shard_addrs, shard_of
 
 
 def make_tm(seed=3):
@@ -100,3 +109,140 @@ def test_distinct_transactions_are_not_deduplicated():
     assert r1["commit_ts"] != r2["commit_ts"]
     assert tm.metrics()["counters"]["commits"] == 2
     assert tm.metrics()["counters"]["duplicate_commits"] == 0
+
+
+# ----------------------------------------------------------------------
+# sharded TM: duplicate cross-shard decision deliveries
+# ----------------------------------------------------------------------
+
+def make_sharded(n=2, seed=3):
+    k = Kernel(seed=seed)
+    net = Network(k)
+    settings = TxnSettings()
+    settings.tm_shards = n
+    addrs = shard_addrs(n)
+    tms = [
+        TransactionManager(
+            k, net, addrs[i], settings=settings,
+            shard_index=i, shard_addrs=addrs,
+        )
+        for i in range(n)
+    ]
+    caller = Node(k, net, "c1")
+    return k, net, tms, caller
+
+
+def row_on_shard(shard, n_shards):
+    i = 0
+    while shard_of("t", f"r{i}", n_shards) != shard:
+        i += 1
+    return f"r{i}"
+
+
+def test_duplicate_decision_delivery_applies_the_slice_once():
+    # A participant that already applied a fanned-out COMMIT must absorb
+    # re-deliveries: same ack, no second slice record, no re-stamp.
+    k, _net, tms, caller = make_sharded()
+    opened = drive(k, (lambda: (yield caller.call(
+        tms[0].addr, "begin", timeout=5.0, client_id="c1")))())
+    writes = [("t", row_on_shard(1, 2), "f", "v")]
+
+    def proc():
+        reply = yield caller.call(
+            tms[1].addr, "prepare", timeout=5.0,
+            client_id="c1", txn_id=opened["txn_id"],
+            start_ts=opened["start_ts"], writes=writes,
+        )
+        assert reply["status"] == "prepared"
+        decision = yield caller.call(
+            tms[0].addr, "decide", timeout=5.0,
+            client_id="c1", txn_id=opened["txn_id"], outcome="commit",
+        )
+        acks = []
+        for _ in range(3):  # original delivery + two fabric duplicates
+            acks.append((yield caller.call(
+                tms[1].addr, "decision", timeout=5.0,
+                client_id="c1", txn_id=opened["txn_id"],
+                outcome="commit", commit_ts=decision["commit_ts"],
+            )))
+        return decision, acks
+
+    decision, acks = drive(k, proc())
+    assert acks == [True, True, True]
+    assert tms[1].metrics()["counters"]["decisions_applied"] == 1
+    logged = [r.commit_ts for r in tms[1].log.fetch(0)]
+    assert logged == [decision["commit_ts"]]  # exactly one slice record
+    assert tms[1]._applied[("c1", opened["txn_id"])] == {
+        "outcome": "commit", "commit_ts": decision["commit_ts"],
+    }
+
+
+def test_duplicate_outcome_proposals_register_once():
+    # The authority's registry is first-writer-wins: repeats of the same
+    # proposal (coordinator retries after a lost reply) and conflicting
+    # late proposals all get the original decision back, with one stamp.
+    k, _net, tms, caller = make_sharded()
+    opened = drive(k, (lambda: (yield caller.call(
+        tms[0].addr, "begin", timeout=5.0, client_id="c1")))())
+
+    def proc():
+        first = yield caller.call(
+            tms[0].addr, "decide", timeout=5.0,
+            client_id="c1", txn_id=opened["txn_id"], outcome="commit",
+        )
+        repeat = yield caller.call(
+            tms[0].addr, "decide", timeout=5.0,
+            client_id="c1", txn_id=opened["txn_id"], outcome="commit",
+        )
+        conflicting = yield caller.call(
+            tms[0].addr, "decide", timeout=5.0,
+            client_id="c1", txn_id=opened["txn_id"], outcome="abort",
+        )
+        return first, repeat, conflicting
+
+    first, repeat, conflicting = drive(k, proc())
+    assert first["outcome"] == "commit"
+    assert repeat == first
+    assert conflicting == first  # the late abort is overruled
+    assert tms[0].metrics()["counters"]["decide_commits"] == 1
+    assert tms[0].metrics()["counters"].get("decide_aborts", 0) == 0
+
+
+def test_retried_cross_shard_commit_returns_cached_verdict():
+    # The classic decision cache still guards the sharded coordinator:
+    # a retried cross-shard commit replays the verdict without a second
+    # prepare round or a second registry proposal.
+    k, _net, tms, caller = make_sharded()
+    opened = drive(k, (lambda: (yield caller.call(
+        tms[0].addr, "begin", timeout=5.0, client_id="c1")))())
+    writes = [
+        ("t", row_on_shard(0, 2), "f", "a"),
+        ("t", row_on_shard(1, 2), "f", "b"),
+    ]
+
+    def proc():
+        first = yield caller.call(
+            tms[0].addr, "commit", timeout=5.0,
+            client_id="c1", txn_id=opened["txn_id"],
+            start_ts=opened["start_ts"], writes=writes,
+        )
+        again = yield caller.call(
+            tms[0].addr, "commit", timeout=5.0,
+            client_id="c1", txn_id=opened["txn_id"],
+            start_ts=opened["start_ts"], writes=writes,
+        )
+        return first, again
+
+    first, again = drive(k, proc())
+    k.run(until=k.now + 1.0)  # let the background fan-out land on tm1
+    assert first["status"] == "committed"
+    assert again == first
+    counters0 = tms[0].metrics()["counters"]
+    counters1 = tms[1].metrics()["counters"]
+    assert counters0["cross_shard_commits"] == 1
+    assert counters0["duplicate_commits"] == 1
+    assert counters0["decide_commits"] == 1
+    assert counters1["prepares"] == 1  # the retry never re-prepared
+    for tm in tms:
+        logged = [r.commit_ts for r in tm.log.fetch(0)]
+        assert logged == [first["commit_ts"]]
