@@ -2,13 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos chaos-disk chaos-kill chaos-tm-shard check-sweep bench bench-figs bench-paper examples demo clean
+.PHONY: install test test-fast test-verbose chaos chaos-disk chaos-kill chaos-tm-shard chaos-ssi check-sweep bench bench-figs bench-paper examples demo clean apidoc
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+# Skip the slow 20-seed chaos sweeps (marked @pytest.mark.slow); the
+# quick inner-loop gate for local development.
+test-fast:
+	$(PYTHON) -m pytest tests/ -q -m "not slow"
 
 test-verbose:
 	$(PYTHON) -m pytest tests/ -v
@@ -36,6 +41,16 @@ chaos-tm-shard:
 	$(PYTHON) -m repro chaos --seeds 20 --tm-shards 2 \
 		--json artifacts/chaos-tm-shard-report.json \
 		--history-dir artifacts/histories-tm-shard
+
+# 20-seed sweep under serializable SSI (2-shard TM, kill-a-TM-shard
+# injection) with the full serializability oracle on every history: the
+# acceptance gate for txn.isolation="ssi" -- zero serialization-graph
+# cycles, lost commits, SI anomalies, or in-doubt transactions.
+chaos-ssi:
+	mkdir -p artifacts
+	$(PYTHON) -m repro chaos --seeds 20 --isolation ssi \
+		--json artifacts/chaos-ssi-report.json \
+		--history-dir artifacts/histories-ssi
 
 # Oracle-backed sweeps with per-seed history artifacts: each seed's
 # recorded operation history lands under artifacts/ and can be

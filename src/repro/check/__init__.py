@@ -10,6 +10,11 @@ checked properties:
 * :class:`SIChecker` -- an offline checker that rebuilds the version
   order from commit timestamps and detects snapshot-isolation anomalies
   over a recorded history;
+* :class:`SerializabilityChecker` -- an offline checker that builds the
+  direct serialization graph (ww/wr/rw edges) over committed
+  transactions and reports ``serializability_cycle`` anomalies; SSI
+  histories must be fully acyclic, SI histories are only audited for
+  cycles snapshot isolation itself forbids (fewer than two rw edges);
 * :class:`InvariantMonitor` -- online assertions over the live cluster's
   threshold state (Algorithms 1-4): ``T_P <= T_F``, monotonicity,
   ``T_P(s)`` never above the global ``T_F`` it last read, and no log
@@ -19,8 +24,9 @@ See ``docs/CHECKING.md`` for the history format and the anomaly
 catalogue mapped to the paper's algorithms.
 """
 
-from repro.check.history import HistoryRecorder, load_history
+from repro.check.history import HistoryRecorder, load_history, load_history_doc
 from repro.check.monitor import InvariantMonitor, evaluate_invariants
+from repro.check.serializability import SerializabilityChecker
 from repro.check.sichecker import Anomaly, CheckReport, SIChecker
 
 __all__ = [
@@ -29,6 +35,8 @@ __all__ = [
     "HistoryRecorder",
     "InvariantMonitor",
     "SIChecker",
+    "SerializabilityChecker",
     "evaluate_invariants",
     "load_history",
+    "load_history_doc",
 ]

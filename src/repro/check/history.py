@@ -150,13 +150,18 @@ class HistoryRecorder:
         ctx: TxnContext,
         writes: List[tuple],
         owners: Optional[List[int]] = None,
+        reads: Optional[List[tuple]] = None,
     ) -> None:
         """The commit request (with its certified write-set) hit the wire.
 
         ``owners`` -- present only under a sharded TM -- gives the owning
         TM-shard index per write (parallel to ``writes``), which is what
-        the checker's cross-shard atomicity rule keys on.  Unsharded runs
-        omit the field entirely, keeping their histories byte-identical.
+        the checker's cross-shard atomicity rule keys on.  ``reads`` --
+        present only under SSI -- is the shipped read set, ``(table, row,
+        column, version_observed)`` per read (version ``null`` for a
+        miss), as used for rw-antidependency certification.  Runs without
+        the corresponding feature omit each field entirely, keeping their
+        histories byte-identical.
         """
         fields = dict(
             txn=txn_key(ctx),
@@ -166,6 +171,8 @@ class HistoryRecorder:
         )
         if owners is not None:
             fields["owners"] = list(owners)
+        if reads is not None:
+            fields["reads"] = [list(r) for r in reads]
         self._emit("commit_attempt", **fields)
 
     def note_commit(self, ctx: TxnContext, read_only: bool = False) -> None:
@@ -226,8 +233,9 @@ class HistoryRecorder:
         return len(self.events)
 
 
-def load_history(path: str) -> List[dict]:
-    """Load a history file written by :meth:`HistoryRecorder.write`."""
+def load_history_doc(path: str) -> dict:
+    """Load a full history document (events plus any metadata -- seed,
+    isolation mode, ... -- that :meth:`HistoryRecorder.write` stamped)."""
     with open(path) as fh:
         doc = json.load(fh)
     if doc.get("format") != FORMAT_VERSION:
@@ -235,4 +243,9 @@ def load_history(path: str) -> List[dict]:
             f"{path}: unsupported history format {doc.get('format')!r} "
             f"(expected {FORMAT_VERSION})"
         )
-    return doc["events"]
+    return doc
+
+
+def load_history(path: str) -> List[dict]:
+    """Load a history file written by :meth:`HistoryRecorder.write`."""
+    return load_history_doc(path)["events"]

@@ -62,6 +62,13 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
              "cross-shard commits via non-blocking 2PC; 1 = classic single "
              "TM, bit-identical to the pre-sharding schedule)",
     )
+    parser.add_argument(
+        "--isolation", choices=("si", "ssi"), default="si",
+        help="certification isolation level: si = classic snapshot "
+             "isolation (bit-identical to the calibrated schedule), ssi = "
+             "serializable snapshot isolation (clients ship read-sets, the "
+             "TM aborts rw-antidependency pivots at certification)",
+    )
 
 
 def _emit_metrics(cluster: SimCluster, path: Optional[str]) -> None:
@@ -105,6 +112,7 @@ def _build(args: argparse.Namespace) -> SimCluster:
     config.kv.flush_max_batch = getattr(args, "flush_max_batch", 1)
     config.kv.flush_coalesce_window = getattr(args, "flush_coalesce_window", 0.0)
     config.txn.tm_shards = getattr(args, "tm_shards", 1)
+    config.txn.isolation = getattr(args, "isolation", "si")
     if args.sync_wal:
         config.kv.wal_sync_mode = "sync"
         config.recovery.enabled = False
@@ -181,10 +189,15 @@ def cmd_workload(args: argparse.Namespace) -> int:
     rc = 0
     if recorder is not None:
         if args.history_json:
-            recorder.write(args.history_json, seed=args.seed, mix=args.mix)
+            meta = dict(seed=args.seed, mix=args.mix)
+            if args.isolation != "si":
+                # Only non-default modes are stamped: default SI history
+                # files stay byte-identical to the pre-SSI format.
+                meta["isolation"] = args.isolation
+            recorder.write(args.history_json, **meta)
             print(f"wrote {len(recorder)} history events to {args.history_json}")
         if args.check:
-            from repro.check import SIChecker
+            from repro.check import SerializabilityChecker, SIChecker
 
             report = SIChecker(recorder.events).check()
             print(f"oracle: {report.summary()}")
@@ -192,20 +205,54 @@ def cmd_workload(args: argparse.Namespace) -> int:
                 print(f"  anomaly: {anomaly}")
             if not report.ok:
                 rc = 1
+            from repro.check.serializability import graph_summary
+
+            ser = SerializabilityChecker(
+                recorder.events, mode=args.isolation
+            ).check()
+            print(
+                f"serializability ({args.isolation} audit): "
+                f"{graph_summary(ser)}"
+            )
+            for anomaly in ser.anomalies:
+                print(f"  anomaly: {anomaly}")
+            if not ser.ok:
+                rc = 1
     return rc
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    """Re-run the consistency oracle over a saved history file."""
-    from repro.check import SIChecker, load_history
+    """Re-run the consistency oracle over a saved history file.
 
-    events = load_history(args.history)
-    print(f"loaded {len(events)} events from {args.history}")
+    Always runs the SI checker plus the serializability checker; the
+    latter's audit mode follows the history's recorded isolation
+    metadata (SI histories get the lenient rw-cycle-only audit, SSI
+    histories must be fully acyclic), overridable with ``--mode``.
+    """
+    from repro.check import SerializabilityChecker, SIChecker, load_history_doc
+    from repro.check.serializability import graph_summary
+
+    doc = load_history_doc(args.history)
+    events = doc["events"]
+    mode = args.mode or doc.get("isolation", "si")
+    print(
+        f"loaded {len(events)} events from {args.history} "
+        f"(serializability audit mode: {mode})"
+    )
+    rc = 0
     report = SIChecker(events).check()
     print(report.summary())
     for anomaly in report.anomalies:
         print(f"  anomaly: {anomaly}")
-    return 0 if report.ok else 1
+    if not report.ok:
+        rc = 1
+    ser = SerializabilityChecker(events, mode=mode).check()
+    print(f"serializability: {graph_summary(ser)}")
+    for anomaly in ser.anomalies:
+        print(f"  anomaly: {anomaly}")
+    if not ser.ok:
+        rc = 1
+    return rc
 
 
 def cmd_failover(args: argparse.Namespace) -> int:
@@ -248,6 +295,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         disk_chaos_settings,
         kill_during_recovery_settings,
         run_chaos,
+        ssi_chaos_settings,
         tm_shard_chaos_settings,
     )
 
@@ -260,6 +308,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         shard_overrides = dict(
             tm_shards=args.tm_shards, tm_shard_kills=1, settle=60.0
         )
+    if args.isolation == "ssi":
+        shard_overrides["isolation"] = "ssi"
     settings = None
     if args.disk_faults and args.kill_during_recovery:
         settings = disk_chaos_settings(
@@ -269,6 +319,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         settings = disk_chaos_settings(**shard_overrides)
     elif args.kill_during_recovery:
         settings = kill_during_recovery_settings(**shard_overrides)
+    elif args.isolation == "ssi" and args.tm_shards <= 1:
+        # The dedicated SSI profile: a sharded TM with a shard kill, so
+        # certification survives losing the node that holds the window.
+        settings = ssi_chaos_settings()
     elif shard_overrides:
         settings = tm_shard_chaos_settings(**shard_overrides)
     print(
@@ -279,6 +333,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
            if args.kill_during_recovery else "")
         + (f", {args.tm_shards} TM shards with a shard kill"
            if args.tm_shards > 1 else "")
+        + (", SSI certification with a full serializability audit"
+           if args.isolation == "ssi" else "")
     )
     if args.history_dir:
         import os
@@ -394,6 +450,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         # Only when sharded: unsharded scenario dicts stay byte-identical
         # to the committed baselines, so check_bench keeps comparing them.
         scenario["tm_shards"] = args.tm_shards
+    if getattr(args, "isolation", "si") != "si":
+        # Same gating: default-SI scenarios keep the baseline shape, and
+        # check_bench skips semantic cross-checks when modes differ.
+        scenario["isolation"] = args.isolation
     payload = {
         "scenario": scenario,
         "commit": {
@@ -418,6 +478,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         },
         "workload": result.summary(),
     }
+    if args.ssi_smoke:
+        payload["ssi_smoke"] = _bench_ssi_smoke(args)
+        print(
+            f"ssi smoke: {payload['ssi_smoke']['workload']['committed']} "
+            f"committed, {payload['ssi_smoke']['ssi']['aborts']} ssi aborts, "
+            f"serialization graph acyclic="
+            f"{payload['ssi_smoke']['serializable']}"
+        )
 
     os.makedirs(args.out, exist_ok=True)
     taken = [
@@ -443,6 +511,52 @@ def cmd_bench(args: argparse.Namespace) -> int:
           f"({payload['simulator']['events_per_s']:.0f} events/s)")
     print(f"wrote {path}")
     return 0
+
+
+def _bench_ssi_smoke(args: argparse.Namespace) -> dict:
+    """A short SSI-mode run folded into the bench payload.
+
+    Proves the serializable certification path end to end on every bench
+    refresh -- read-sets shipped, window checks running, recorded history
+    acyclic -- and tracks its commit-path cost next to the SI headline
+    numbers.  Deliberately small (its own cluster, no crash) so the main
+    scenario's numbers stay untouched.
+    """
+    from repro.check import SerializabilityChecker
+
+    config = ClusterConfig(seed=args.seed)
+    config.workload.n_rows = min(args.rows, 5_000)
+    config.workload.n_clients = min(args.clients, 20)
+    config.kv.n_region_servers = args.servers
+    config.kv.n_regions = args.regions
+    config.txn.isolation = "ssi"
+    cluster = SimCluster(config).start()
+    cluster.preload()
+    cluster.warm_caches()
+    recorder = cluster.attach_history_recorder()
+    driver = WorkloadDriver(cluster)
+    result = driver.run(duration=8.0, target_tps=150.0, warmup=1.0)
+    report = SerializabilityChecker(recorder.events, mode="ssi").check()
+    tm = cluster.tm.metrics()
+    commit = cluster.metrics_snapshot()["spans"].get("commit.rpc", {})
+    return {
+        "isolation": "ssi",
+        "duration_s": 8.0,
+        "offered_tps": 150.0,
+        "commit": {
+            "count": commit.get("count", 0),
+            "p50_ms": round(commit.get("p50", 0.0) * 1000, 6),
+            "p99_ms": round(commit.get("p99", 0.0) * 1000, 6),
+        },
+        "ssi": {
+            "checks": tm["gauges"].get("ssi_checks", 0),
+            "aborts": tm["counters"].get("ssi_aborts", 0),
+            "window": tm["gauges"].get("ssi_window", 0),
+        },
+        "serializable": report.ok,
+        "serializability": report.counters,
+        "workload": result.summary(),
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -507,6 +621,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--tm-shards", type=int, default=1, metavar="N",
                        help="run against a sharded transaction manager "
                             "(N shards) and kill one shard mid-storm")
+    chaos.add_argument("--isolation", choices=("si", "ssi"), default="si",
+                       help="certification isolation level; ssi runs the "
+                            "SSI profile (sharded TM, shard kill) and adds "
+                            "the full serializability audit to the oracle")
     chaos.add_argument("--json", metavar="PATH", default=None,
                        help="write the full sweep report as JSON")
     chaos.add_argument("--history-dir", metavar="DIR", default=None,
@@ -525,6 +643,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="offered transactions per second")
     bench.add_argument("--out", metavar="DIR", default=".",
                        help="directory for the numbered BENCH_<n>.json")
+    bench.add_argument("--ssi-smoke", action="store_true",
+                       help="append a short SSI-mode run (separate small "
+                            "cluster, no crash) to the payload, proving the "
+                            "serializable certification path and tracking "
+                            "its commit-path cost")
     bench.set_defaults(func=cmd_bench)
 
     check = sub.add_parser(
@@ -533,6 +656,9 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("history", metavar="HISTORY_JSON",
                        help="history file written by 'workload "
                             "--history-json' or 'chaos --history-dir'")
+    check.add_argument("--mode", choices=("si", "ssi"), default=None,
+                       help="serializability audit mode (default: the "
+                            "history's recorded isolation metadata, or si)")
     check.set_defaults(func=cmd_check)
 
     return parser

@@ -310,6 +310,7 @@ class SimCluster:
             tm_addrs=[tm.addr for tm in self.tms]
             if cfg.txn.tm_shards > 1
             else None,
+            isolation=cfg.txn.isolation,
         )
         if self.history_recorder is not None:
             self.history_recorder.attach(txn)

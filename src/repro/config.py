@@ -211,6 +211,17 @@ class TxnSettings:
     #: transaction before resolving it itself against the decision
     #: registry (presumed abort).  Only meaningful with ``tm_shards > 1``.
     indoubt_resolve_timeout: float = 1.0
+    #: Certification isolation level.  "si" is classic snapshot isolation
+    #: (first-committer-wins, the calibrated schedule, bit-for-bit).
+    #: "ssi" layers serializable snapshot isolation on top: clients ship
+    #: their read-sets at commit, and the certifier tracks
+    #: rw-antidependency edges against concurrent committers, aborting any
+    #: transaction that would complete a dangerous structure (a pivot with
+    #: both an incoming and an outgoing rw-edge).  With ``tm_shards > 1``
+    #: the rw-edge window lives on the authority shard and every commit
+    #: decision -- local or via the cross-shard decision registry --
+    #: certifies against it.
+    isolation: str = "si"
 
 
 @dataclass

@@ -120,16 +120,28 @@ class ServerRecoveryAgent:
         self.tracker.last_tf_seen = initial_tp
         self.tracker.pending = 0
         self.tracker_incarnation = self.server.incarnation
-        try:
-            yield from self.server.zk.create(
-                server_path(self.server.addr), data=self._payload()
-            )
-        except Exception:
-            # Already registered (a restart before the recovery manager
-            # cleaned up the previous incarnation): refresh the data.
-            yield from self.server.zk.set_data(
-                server_path(self.server.addr), self._payload()
-            )
+        # Registration must survive a lossy fabric.  A failed create may
+        # mean "already registered" (a restart before the recovery
+        # manager cleaned up the previous incarnation) -- but a *timed
+        # out* create leaves the node's existence unknown, so the
+        # set_data fallback can itself hit NoNode.  Alternate the two
+        # until one lands; the region server must not come up
+        # unregistered.
+        while True:
+            try:
+                yield from self.server.zk.create(
+                    server_path(self.server.addr), data=self._payload()
+                )
+                break
+            except Exception:
+                pass
+            try:
+                yield from self.server.zk.set_data(
+                    server_path(self.server.addr), self._payload()
+                )
+                break
+            except Exception:
+                yield self.server.sleep(0.2)
         self._running = True
         self.server.spawn(self._heartbeat_loop(), name="server-heartbeat")
 

@@ -60,6 +60,11 @@ class ChaosSettings:
     # -- cluster shape ----------------------------------------------------
     n_servers: int = 3
     n_regions: int = 6
+    #: Certification isolation level (``txn.isolation``): "si" is the
+    #: classic snapshot-isolation storm, bit-for-bit; "ssi" certifies
+    #: rw-antidependencies too, and the oracle then additionally requires
+    #: the recorded history's serialization graph to be fully acyclic.
+    isolation: str = "si"
     #: TM shard count (``txn.tm_shards``); 1 is the classic single TM and
     #: reproduces the pre-sharding storms bit-for-bit.
     tm_shards: int = 1
@@ -185,6 +190,23 @@ def tm_shard_chaos_settings(**overrides) -> "ChaosSettings":
     return ChaosSettings(**base)
 
 
+def ssi_chaos_settings(**overrides) -> "ChaosSettings":
+    """The serializable-SSI chaos profile.
+
+    The TM-shard storm run under ``txn.isolation="ssi"``: a sharded TM (2
+    shards by default) with one shard kill mid-storm, so certification --
+    including the rw-antidependency check at the authority -- survives a
+    crash and restart of the very node holding the SSI window.  On top of
+    the usual audits the oracle runs the full serializability checker
+    over the recorded history: under SSI the direct serialization graph
+    must be acyclic, so a single write-skew slipping past certification
+    fails the run.
+    """
+    base = dict(isolation="ssi", tm_shards=2, tm_shard_kills=1, settle=60.0)
+    base.update(overrides)
+    return ChaosSettings(**base)
+
+
 @dataclass
 class ChaosReport:
     """Everything one chaos run produced; equality is bit-for-bit."""
@@ -269,6 +291,7 @@ def build_chaos_cluster(seed: int, settings: ChaosSettings) -> SimCluster:
     config.kv.n_region_servers = settings.n_servers
     config.kv.n_regions = settings.n_regions
     config.txn.tm_shards = settings.tm_shards
+    config.txn.isolation = settings.isolation
     config.kv.wal_sync_interval = 300.0
     config.workload.n_rows = settings.n_rows
     config.recovery.client_heartbeat_interval = 0.5
@@ -754,6 +777,14 @@ def run_chaos(
             recorder.events, initial_value=preload_value_fn(s.n_rows)
         ).check()
         report.anomalies = [str(a) for a in check.anomalies]
+        if s.isolation == "ssi":
+            # SSI claims full serializability: the direct serialization
+            # graph over the recorded history must be acyclic.  (SI runs
+            # skip this entirely, keeping their reports bit-identical.)
+            from repro.check import SerializabilityChecker
+
+            ser = SerializabilityChecker(recorder.events, mode="ssi").check()
+            report.anomalies.extend(str(a) for a in ser.anomalies)
         report.invariant_violations = [
             f"{v['kind']} [{v['subject']}] at t={v['t']}: {v['detail']}"
             for v in monitor.violations
@@ -764,8 +795,13 @@ def run_chaos(
             "monitor_samples": monitor.samples,
             "ledger_outcomes": ledger.outcome_counts(),
         }
+        if s.isolation == "ssi":
+            report.oracle["serializability"] = ser.counters
         if history_path is not None:
-            recorder.write(history_path, seed=seed)
+            if s.isolation == "ssi":
+                recorder.write(history_path, seed=seed, isolation="ssi")
+            else:
+                recorder.write(history_path, seed=seed)
         note(
             f"oracle: {len(recorder)} events, "
             f"{len(report.anomalies)} anomalies, "

@@ -7,7 +7,7 @@ model (buffer at the client, flush to the store only after commit).
 """
 
 from repro.txn.client import STORE_SYNC, TM_LOG, TxnClient
-from repro.txn.concurrency import SICertifier
+from repro.txn.concurrency import SICertifier, SSIWindow
 from repro.txn.context import (
     ABORTED,
     COMMITTED,
@@ -30,6 +30,7 @@ __all__ = [
     "LogRecord",
     "RecoveryLog",
     "SICertifier",
+    "SSIWindow",
     "STORE_SYNC",
     "TM_LOG",
     "TimestampOracle",

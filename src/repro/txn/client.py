@@ -54,9 +54,16 @@ class TxnClient:
         tracker: Optional[Any] = None,
         retry_policy: Optional[RetryPolicy] = None,
         tm_addrs: Optional[List[str]] = None,
+        isolation: str = "si",
     ) -> None:
         if durability not in (TM_LOG, STORE_SYNC):
             raise ValueError(f"unknown durability mode {durability!r}")
+        if isolation not in ("si", "ssi"):
+            raise ValueError(f"unknown isolation level {isolation!r}")
+        #: Certification isolation level; must match the TM's.  Under
+        #: "ssi" the client collects every store read's key and ships the
+        #: read-set with the commit for rw-antidependency certification.
+        self.isolation = isolation
         self.host = host
         self.kv = kv
         #: Sharded-TM topology (authority shard first).  ``None`` keeps the
@@ -134,6 +141,13 @@ class TxnClient:
             return value
         result = yield from self.kv.get(table, row, column, max_version=ctx.start_ts)
         version, value = (None, None) if result is None else result
+        if self.isolation == "ssi":
+            # The version observed matters, not just the key: a read can
+            # legally miss a committed-but-unflushed version inside the
+            # snapshot, and certification needs the version to notice.
+            # Misses count too (version None): reading "no version" is
+            # still a read the certifier must defend against a writer.
+            ctx.read_set.add((table, row, column, version))
         if self.recorder is not None:
             self.recorder.note_read(
                 ctx, table, row, column, issued_at, version, value, own=False
@@ -176,6 +190,13 @@ class TxnClient:
             else:
                 merged[row] = (None, value, True)
         result = sorted(merged.items())[:limit]
+        if self.isolation == "ssi":
+            # Returned store rows only: the scanned range's *absent* rows
+            # (predicate reads / phantoms) are out of SSI's scope here,
+            # as documented in docs/CHECKING.md.
+            for row, (v, _value, own) in result:
+                if not own:
+                    ctx.read_set.add((table, row, column, v))
         if self.recorder is not None:
             self.recorder.note_scan(
                 ctx, table, start_row, end_row, column, issued_at,
@@ -244,10 +265,26 @@ class TxnClient:
             # shard should fail over to a retry (and a revived shard)
             # quickly, not after the single-TM's 30 s grace.
             timeout = 5.0
+        reads, extra = None, {}
+        if self.isolation == "ssi":
+            # Ship the read-set -- (table, row, column, version_observed)
+            # -- for rw-antidependency certification.  A read-only commit
+            # still routes to ``target`` (the authority when sharded),
+            # which hosts the global rw-edge window.
+            reads = sorted(
+                ctx.read_set,
+                key=lambda r: (r[0], r[1], r[2], -1 if r[3] is None else r[3]),
+            )
+            extra["reads"] = reads
         if self.recorder is not None:
             # Recorded *before* the RPC: a transaction with an attempt but
             # no verdict is "maybe committed" (the client-recovery case).
-            self.recorder.note_commit_attempt(ctx, writes, owners=owners)
+            self.recorder.note_commit_attempt(
+                ctx, writes, owners=owners, reads=reads
+            )
+        size = max(96 * len(writes), 96)
+        if reads:
+            size += 16 * len(reads)
         # Retried commits are safe: the TM's decision cache returns the
         # original verdict if our first request got through but the
         # response was lost (or the fabric duplicated the request).
@@ -256,12 +293,13 @@ class TxnClient:
             "commit",
             policy=self.retry_policy,
             timeout=timeout,
-            size=max(96 * len(writes), 96),
+            size=size,
             client_id=self.client_id,
             txn_id=ctx.txn_id,
             start_ts=ctx.start_ts,
             writes=writes,
             log_commit=(self.durability == TM_LOG),
+            **extra,
         )
         if reply["status"] == "aborted":
             ctx.transition(ABORTED)

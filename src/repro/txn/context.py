@@ -44,6 +44,13 @@ class TxnContext:
     state: str = EXECUTING
     commit_ts: Optional[int] = None
     abort_reason: Optional[str] = None
+    #: Reads from the store, as ``(table, row, column, version_observed)``
+    #: tuples (version ``None`` for a miss).  Collected only under SSI
+    #: (``txn.isolation="ssi"``), where commit ships them to the TM for
+    #: rw-antidependency certification -- the observed version is what
+    #: lets the certifier catch reads that went around an unflushed
+    #: commit; stays empty -- and off the wire -- under classic SI.
+    read_set: set = field(default_factory=set, repr=False, compare=False)
     #: Optional history recorder (see :mod:`repro.check.history`); set by
     #: the client at begin so state transitions -- notably the
     #: asynchronous post-commit flush -- reach the recorded history.

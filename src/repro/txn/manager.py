@@ -28,13 +28,22 @@ from repro.sim.network import Network
 from repro.sim.node import Node
 from repro.sim.resource import Resource
 from repro.sim.retry import RetryPolicy
-from repro.txn.concurrency import SICertifier
+from repro.txn.concurrency import SICertifier, SSIWindow
 from repro.txn.log import LogRecord, RecoveryLog
 from repro.txn.sharding import shard_of
 from repro.txn.timestamps import TimestampOracle
 
 #: A client-submitted write on the wire: (table, row, column, value).
 WireWrite = Tuple[str, str, str, object]
+
+
+def _read_pairs(reads):
+    """Wire reads -- ``(table, row, column, version_observed)`` 4-tuples,
+    shipped by SSI clients -- to the rw-edge window's
+    ``((table, row, column), version)`` pairs."""
+    if not reads:
+        return []
+    return [((r[0], r[1], r[2]), r[3]) for r in reads]
 
 #: Shard-to-shard RPC retry (prepare / decide / ts_next): bounded, so a
 #: coordinator stuck behind a dead peer eventually surfaces the failure to
@@ -84,6 +93,18 @@ class TransactionManager(Node):
         self.is_authority = shard_index == 0
         self.oracle = TimestampOracle()
         self.certifier = SICertifier(horizon=self.settings.certification_horizon)
+        if self.settings.isolation not in ("si", "ssi"):
+            raise ValueError(
+                f"unknown isolation level: {self.settings.isolation!r}"
+            )
+        #: The SSI rw-antidependency window (``isolation="ssi"`` only).
+        #: Serializability is a global property, so the window lives where
+        #: every commit decision already lands: the single TM, or the
+        #: authority shard -- whose oracle stamps and decision registry
+        #: serialize all commits -- when sharded.
+        self.ssi: Optional[SSIWindow] = None
+        if self.settings.isolation == "ssi" and self.is_authority:
+            self.ssi = SSIWindow(horizon=self.settings.certification_horizon)
         if logger_shards:
             if self.n_shards > 1:
                 raise ValueError("tm_shards > 1 is incompatible with log_shards")
@@ -157,6 +178,12 @@ class TransactionManager(Node):
             # by racing an abort proposal against the coordinator here.
             self._registry: "OrderedDict[Tuple[str, int], dict]" = OrderedDict()
             self._registry_gates: Dict[Tuple[str, int], object] = {}
+            # Authority only, SSI only: remembered ``ssi_commit`` verdicts,
+            # so a retried grant request (response lost) returns the
+            # original stamp instead of re-certifying -- a second pass
+            # would see the first admission as a concurrent committer and
+            # self-conflict.
+            self._ssi_grants: "OrderedDict[Tuple[str, int], dict]" = OrderedDict()
             (
                 self._n_prepares,
                 self._n_decide_commits,
@@ -203,13 +230,18 @@ class TransactionManager(Node):
         start_ts: int,
         writes: List[WireWrite],
         log_commit: bool = True,
+        reads: Optional[List] = None,
     ):
         """Certify and commit a transaction.
 
         Returns ``{"status": "committed", "commit_ts": ts}`` or
         ``{"status": "aborted", "conflict_key": key}``.  With
         ``log_commit`` the reply is sent only after the write-set is
-        durable in the recovery log (group commit).
+        durable in the recovery log (group commit).  ``reads`` is the
+        transaction's read set -- ``(table, row, column,
+        version_observed)`` tuples -- shipped by clients only under
+        ``isolation="ssi"``, where certification also tracks
+        rw-antidependencies and rejects fractured snapshots.
 
         Idempotent per ``(client_id, txn_id)``: repeats -- whether from a
         client retry after a lost response or a fabric-level duplicate --
@@ -245,7 +277,7 @@ class TransactionManager(Node):
         try:
             try:
                 reply = yield from self._decide_commit(
-                    client_id, txn_id, start_ts, writes, log_commit
+                    client_id, txn_id, start_ts, writes, log_commit, reads
                 )
             except Interrupt:
                 self._deciding.pop(key, None)
@@ -276,19 +308,33 @@ class TransactionManager(Node):
         start_ts: int,
         writes: List[WireWrite],
         log_commit: bool,
+        reads: Optional[List] = None,
     ):
         """Certify, stamp, and (optionally) log one commit.  (Generator.)"""
         txn_key = f"{client_id}:{txn_id}"
         certify_span = self._tracer.begin("commit.certify", txn=txn_key)
         yield from self.cpu.use(self.settings.op_service_time)
         if not writes:
+            if self.ssi is not None and reads:
+                # Under SSI even a read-only transaction certifies: its
+                # rw-edges are what make Fekete's read-only anomaly
+                # possible (clients route read-only commits to the
+                # authority shard, so the window is always local here).
+                reply = self._certify_read_only(start_ts, reads)
+                certify_span.end(
+                    outcome="read_only"
+                    if reply["status"] == "committed"
+                    else "aborted"
+                )
+                return reply
             self._n_read_only.inc()
             certify_span.end(outcome="read_only")
             return {"status": "committed", "commit_ts": start_ts, "read_only": True}
 
         if self.n_shards > 1:
             reply = yield from self._decide_commit_sharded(
-                client_id, txn_id, start_ts, writes, log_commit, certify_span
+                client_id, txn_id, start_ts, writes, log_commit, certify_span,
+                reads,
             )
             return reply
 
@@ -298,9 +344,25 @@ class TransactionManager(Node):
             self._n_aborts.inc()
             certify_span.end(outcome="aborted")
             return {"status": "aborted", "conflict_key": list(conflict)}
+        if self.ssi is not None:
+            rkeys = _read_pairs(reads)
+            ssi_conflict = self.ssi.check(start_ts, keys, rkeys)
+            if ssi_conflict is not None:
+                self._n_aborts.inc()
+                self.registry.counter("ssi_aborts").inc()
+                certify_span.end(outcome="aborted")
+                return {
+                    "status": "aborted",
+                    "conflict_key": list(ssi_conflict),
+                    "ssi": True,
+                }
 
         commit_ts = self.oracle.next()
         self.certifier.record(commit_ts, keys)
+        if self.ssi is not None:
+            # Back-to-back with check(), no yields in between: the
+            # check-and-admit pair is atomic under the event loop.
+            self.ssi.admit(start_ts, commit_ts, keys, rkeys)
         self._n_commits.inc()
         certify_span.end(outcome="committed")
         if self.settings.snapshot_visibility == "flushed":
@@ -325,6 +387,26 @@ class TransactionManager(Node):
             append_span.end()
         return {"status": "committed", "commit_ts": commit_ts}
 
+    def _certify_read_only(self, start_ts: int, reads: List) -> dict:
+        """SSI certification of a read-only transaction (plain call, so it
+        is atomic under the event loop).  No commit stamp is minted -- on
+        success the snapshot stays the serialization point, exactly the
+        classic read-only fast path -- but the reads enter the rw-edge
+        window with the newest timestamp as their commit point."""
+        rkeys = _read_pairs(reads)
+        conflict = self.ssi.check(start_ts, (), rkeys)
+        if conflict is not None:
+            self._n_aborts.inc()
+            self.registry.counter("ssi_aborts").inc()
+            return {
+                "status": "aborted",
+                "conflict_key": list(conflict),
+                "ssi": True,
+            }
+        self.ssi.admit(start_ts, self.oracle.current(), (), rkeys)
+        self._n_read_only.inc()
+        return {"status": "committed", "commit_ts": start_ts, "read_only": True}
+
     # ------------------------------------------------------------------
     # sharded commit protocol (tm_shards > 1 only)
     # ------------------------------------------------------------------
@@ -336,6 +418,7 @@ class TransactionManager(Node):
         writes: List[WireWrite],
         log_commit: bool,
         certify_span,
+        reads: Optional[List] = None,
     ):
         """Route one update commit through the sharded protocol.
 
@@ -359,11 +442,11 @@ class TransactionManager(Node):
             ).append(write)
         if set(slices) == {self.shard_index}:
             reply = yield from self._commit_here(
-                key, start_ts, writes, log_commit, certify_span
+                key, start_ts, writes, log_commit, certify_span, reads
             )
             return reply
         reply = yield from self._coordinate_cross_shard(
-            key, start_ts, slices, certify_span
+            key, start_ts, slices, certify_span, reads
         )
         return reply
 
@@ -406,31 +489,75 @@ class TransactionManager(Node):
             except DiskWriteError:
                 yield self.sleep(self.settings.group_commit_interval or 0.001)
 
-    def _commit_here(self, key, start_ts, writes, log_commit, certify_span):
+    def _commit_here(self, key, start_ts, writes, log_commit, certify_span,
+                     reads=None):
         """Commit a write-set owned entirely by this shard."""
-        client_id, _txn_id = key
+        client_id, txn_id = key
         keys = [(table, row, column) for table, row, column, _value in writes]
+        rkeys = [tuple(rkey) for rkey in reads] if reads else []
         conflict = self._certify_sharded(start_ts, keys, key)
         if conflict is not None:
             self._n_aborts.inc()
             certify_span.end(outcome="aborted")
             return {"status": "aborted", "conflict_key": list(conflict)}
         if self.is_authority:
+            if self.ssi is not None:
+                ssi_conflict = self.ssi.check(
+                    start_ts, keys, _read_pairs(rkeys)
+                )
+                if ssi_conflict is not None:
+                    self._n_aborts.inc()
+                    self.registry.counter("ssi_aborts").inc()
+                    certify_span.end(outcome="aborted")
+                    return {
+                        "status": "aborted",
+                        "conflict_key": list(ssi_conflict),
+                        "ssi": True,
+                    }
             commit_ts = self.oracle.next()
             self._note_ts(commit_ts)
+            if self.ssi is not None:
+                self.ssi.admit(start_ts, commit_ts, keys, _read_pairs(rkeys))
         else:
             # Hold the keys while fetching the stamp so a concurrent
             # certification cannot slip a conflicting commit in between.
             self._reserve(keys, key)
-            try:
-                commit_ts = yield from self.call_with_retry(
-                    self.shard_addrs[0], "ts_next",
-                    policy=SHARD_RPC_RETRY, timeout=5.0,
-                )
-            except BaseException:
+            if self.settings.isolation == "ssi":
+                # The stamp grant doubles as the global SSI verdict: the
+                # authority checks the rw-edge window, mints, and admits
+                # in one atomic step (and remembers the verdict, so a
+                # retried grant is never re-certified).
+                try:
+                    grant = yield from self.call_with_retry(
+                        self.shard_addrs[0], "ssi_commit",
+                        policy=SHARD_RPC_RETRY, timeout=5.0,
+                        client_id=client_id, txn_id=txn_id,
+                        start_ts=start_ts, writes=keys, reads=rkeys,
+                    )
+                except BaseException:
+                    self._release(keys, key)
+                    raise
                 self._release(keys, key)
-                raise
-            self._release(keys, key)
+                if grant["status"] == "aborted":
+                    self._n_aborts.inc()
+                    self.registry.counter("ssi_aborts").inc()
+                    certify_span.end(outcome="aborted")
+                    return {
+                        "status": "aborted",
+                        "conflict_key": grant.get("conflict_key"),
+                        "ssi": True,
+                    }
+                commit_ts = grant["commit_ts"]
+            else:
+                try:
+                    commit_ts = yield from self.call_with_retry(
+                        self.shard_addrs[0], "ts_next",
+                        policy=SHARD_RPC_RETRY, timeout=5.0,
+                    )
+                except BaseException:
+                    self._release(keys, key)
+                    raise
+                self._release(keys, key)
             self._note_ts(commit_ts)
         self.certifier.record(commit_ts, keys)
         self._n_commits.inc()
@@ -452,7 +579,8 @@ class TransactionManager(Node):
             append_span.end()
         return {"status": "committed", "commit_ts": commit_ts}
 
-    def _coordinate_cross_shard(self, key, start_ts, slices, certify_span):
+    def _coordinate_cross_shard(self, key, start_ts, slices, certify_span,
+                                reads=None):
         """Coordinate a cross-shard commit (this shard = lowest owner).
 
         Stage 1: prepare every owner slice (durable journal + key
@@ -463,6 +591,14 @@ class TransactionManager(Node):
         background.  A crash at any stage leaves participants able to
         finish via the registry; no stage blocks on this coordinator
         surviving.
+
+        Under SSI the commit proposal additionally carries the
+        transaction's full read- and write-key sets, so the registrar's
+        durable decision *is* the rw-edge certification verdict: a
+        proposed commit that would complete a dangerous structure is
+        registered as an abort, and every participant (including an
+        in-doubt resolver racing this coordinator) learns the same
+        outcome from the registry.
         """
         client_id, txn_id = key
         own = slices.get(self.shard_index)
@@ -493,13 +629,34 @@ class TransactionManager(Node):
                     decided = reply
                     break
         proposal = decided["outcome"] if decided is not None else outcome
+        ssi_payload = None
+        if self.settings.isolation == "ssi" and proposal == "commit":
+            ssi_payload = {
+                "start_ts": start_ts,
+                "writes": [
+                    (table, row, column)
+                    for index in sorted(slices)
+                    for table, row, column, _value in slices[index]
+                ],
+                "reads": [tuple(rkey) for rkey in reads] if reads else [],
+            }
         if self.is_authority:
-            decision = yield from self._register_decision(key, proposal)
+            decision = yield from self._register_decision(
+                key, proposal, ssi=ssi_payload
+            )
         else:
+            extra = {}
+            if ssi_payload is not None:
+                extra = dict(
+                    start_ts=ssi_payload["start_ts"],
+                    writes=ssi_payload["writes"],
+                    reads=ssi_payload["reads"],
+                )
             decision = yield from self.call_with_retry(
                 self.shard_addrs[0], "decide",
                 policy=SHARD_RPC_RETRY, timeout=5.0,
                 client_id=client_id, txn_id=txn_id, outcome=proposal,
+                **extra,
             )
             self._note_ts(decision.get("commit_ts"))
         # Ack point: the decision is durably registered and (below) the
@@ -524,6 +681,10 @@ class TransactionManager(Node):
             return {"status": "committed", "commit_ts": decision["commit_ts"]}
         self._n_aborts.inc()
         certify_span.end(outcome="aborted")
+        if conflict is None and decision.get("conflict_key") is not None:
+            # An SSI-converted proposal: the registrar turned the commit
+            # into an abort and recorded the witnessing key.
+            conflict = tuple(decision["conflict_key"])
         return {
             "status": "aborted",
             "conflict_key": list(conflict) if conflict is not None else None,
@@ -568,7 +729,7 @@ class TransactionManager(Node):
         )
         return reply
 
-    def _register_decision(self, key, proposal):
+    def _register_decision(self, key, proposal, ssi=None):
         """First-writer-wins durable decision registration (stage 2).
 
         The first proposal to reach stable storage -- the coordinator's
@@ -576,6 +737,11 @@ class TransactionManager(Node):
         outcome; every later proposal gets that original back.  Commit
         outcomes take their globally-ordered stamp here, from the
         authority's oracle.
+
+        Under SSI a commit proposal arrives with the transaction's key
+        sets (``ssi={"start_ts", "writes", "reads"}``); the rw-edge check,
+        the stamp, and the window admission happen in one atomic step, and
+        a dangerous proposal is registered as an abort.
         """
         entry = self._registry.get(key)
         if entry is not None:
@@ -589,8 +755,27 @@ class TransactionManager(Node):
         try:
             entry = {"outcome": proposal, "commit_ts": None}
             if proposal == "commit":
-                entry["commit_ts"] = self.oracle.next()
-                self._note_ts(entry["commit_ts"])
+                if ssi is not None and self.ssi is not None:
+                    ssi_conflict = self.ssi.check(
+                        ssi["start_ts"], ssi["writes"],
+                        _read_pairs(ssi["reads"]),
+                    )
+                    if ssi_conflict is not None:
+                        self.registry.counter("ssi_aborts").inc()
+                        entry = {
+                            "outcome": "abort",
+                            "commit_ts": None,
+                            "conflict_key": list(ssi_conflict),
+                            "ssi": True,
+                        }
+                if entry["outcome"] == "commit":
+                    entry["commit_ts"] = self.oracle.next()
+                    self._note_ts(entry["commit_ts"])
+                    if ssi is not None and self.ssi is not None:
+                        self.ssi.admit(
+                            ssi["start_ts"], entry["commit_ts"],
+                            ssi["writes"], _read_pairs(ssi["reads"]),
+                        )
             yield from self._durable_write(128)
         except BaseException as exc:
             self._registry_gates.pop(key, None)
@@ -600,7 +785,7 @@ class TransactionManager(Node):
         self._registry[key] = entry
         while len(self._registry) > self.settings.commit_cache_size:
             self._registry.popitem(last=False)
-        if proposal == "commit":
+        if entry["outcome"] == "commit":
             self._n_decide_commits.inc()
         else:
             self._n_decide_aborts.inc()
@@ -608,15 +793,62 @@ class TransactionManager(Node):
         gate.succeed(dict(entry))
         return dict(entry)
 
-    def rpc_decide(self, sender, client_id, txn_id, outcome):
-        """Registrar RPC: coordinator's proposal or a resolver's abort."""
+    def rpc_decide(self, sender, client_id, txn_id, outcome,
+                   start_ts=None, writes=None, reads=None):
+        """Registrar RPC: coordinator's proposal or a resolver's abort.
+        SSI commit proposals carry the key sets for the atomic rw-edge
+        check at registration."""
         if not self.is_authority:
             raise ValueError(f"{self.addr} is not the decision registrar")
         yield from self.cpu.use(self.settings.op_service_time)
+        ssi = None
+        if outcome == "commit" and start_ts is not None:
+            ssi = {
+                "start_ts": start_ts,
+                "writes": [tuple(wkey) for wkey in (writes or [])],
+                "reads": [tuple(rkey) for rkey in (reads or [])],
+            }
         decision = yield from self._register_decision(
-            (client_id, txn_id), outcome
+            (client_id, txn_id), outcome, ssi=ssi
         )
         return decision
+
+    def rpc_ssi_commit(self, sender, client_id, txn_id, start_ts, writes,
+                       reads):
+        """Authority RPC (SSI only): a single-shard commit's stamp grant,
+        fused with the global rw-edge certification -- check, mint, and
+        admit atomically.  Idempotent per ``(client_id, txn_id)``: a
+        retried grant returns the original verdict, because a second
+        certification would see the first admission as a concurrent
+        committer and self-conflict.
+        """
+        if not self.is_authority:
+            raise ValueError(f"{self.addr} is not the timestamp authority")
+        key = (client_id, txn_id)
+        cached = self._ssi_grants.get(key)
+        if cached is not None:
+            return dict(cached)
+        yield from self.cpu.use(self.settings.op_service_time)
+        cached = self._ssi_grants.get(key)
+        if cached is not None:
+            # A duplicate decided while this one waited on the CPU.
+            return dict(cached)
+        wkeys = [tuple(wkey) for wkey in writes]
+        rpairs = _read_pairs(reads)
+        ssi_conflict = self.ssi.check(start_ts, wkeys, rpairs)
+        if ssi_conflict is None:
+            ts = self.oracle.next()
+            self._note_ts(ts)
+            self.ssi.admit(start_ts, ts, wkeys, rpairs)
+            self._n_ts_grants.inc()
+            grant = {"status": "committed", "commit_ts": ts}
+        else:
+            self.registry.counter("ssi_aborts").inc()
+            grant = {"status": "aborted", "conflict_key": list(ssi_conflict)}
+        self._ssi_grants[key] = grant
+        while len(self._ssi_grants) > self.settings.commit_cache_size:
+            self._ssi_grants.popitem(last=False)
+        return dict(grant)
 
     def rpc_ts_next(self, sender):
         """Authority RPC: one globally-ordered commit timestamp."""
@@ -766,6 +998,20 @@ class TransactionManager(Node):
         self._inflight_commits.clear()
         if self.n_shards > 1:
             self._registry_gates.clear()
+            if self.ssi is not None:
+                # The rw-edge window (and the grant cache) is volatile:
+                # read-sets are never logged.  Replace it immediately,
+                # floored past every pre-crash stamp, so a request that
+                # sneaks in between revive() and the restart process's
+                # first step cannot certify against a hole -- snapshots
+                # taken before the crash abort conservatively.
+                self.ssi = SSIWindow(
+                    horizon=self.settings.certification_horizon
+                )
+                self.ssi.raise_floor(
+                    self._latest_known_ts() + TS_RESEED_MARGIN
+                )
+            self._ssi_grants.clear()
 
     def restart(self):
         """Revive this shard after a crash (generator; spawn post-revive).
@@ -816,6 +1062,11 @@ class TransactionManager(Node):
         self._note_ts(peer_latest)
         if self.is_authority and peer_latest >= self.oracle.current():
             self.oracle = TimestampOracle(start=peer_latest + TS_RESEED_MARGIN)
+        if self.ssi is not None:
+            # Peers may have witnessed stamps this shard never saw; the
+            # emptied rw-edge window (see on_crash) can only vouch for
+            # snapshots taken after everything pre-crash.
+            self.ssi.raise_floor(self.oracle.current())
         self.registry.counter("restarts").inc()
         # Anything the crash left prepared-but-undecided resolves now.
         yield from self._resolve_indoubt(min_age=0.0)
@@ -902,6 +1153,11 @@ class TransactionManager(Node):
         if self.n_shards > 1:
             self.registry.gauge("indoubt").set(len(self._prepared))
             self.registry.gauge("reserved").set(len(self._reserved))
+        if self.ssi is not None:
+            tracked, floor = self.ssi.window_size()
+            self.registry.gauge("ssi_window").set(tracked)
+            self.registry.gauge("ssi_floor").set(floor)
+            self.registry.gauge("ssi_checks").set(self.ssi.checks)
         return self.registry.snapshot()
 
     def _log_fields(self):

@@ -9,7 +9,7 @@ worse than no checker, because it lends green sweeps false authority.
 
 import itertools
 
-from repro.check import SIChecker, evaluate_invariants
+from repro.check import SerializabilityChecker, SIChecker, evaluate_invariants
 
 T = "usertable"
 
@@ -302,6 +302,33 @@ def test_unsharded_history_report_carries_no_cross_shard_counter():
     assert "cross_shard_txns" not in report.counters
 
 
+def test_cross_shard_scan_detects_torn_write_set():
+    # A scan whose returned rows span both TM shards' slices, issued
+    # after the cross-shard writer's flush: seeing shard 0's row at the
+    # committed version but shard 1's at the preload is a torn read --
+    # the scan path must feed the cross_shard_atomicity audit exactly
+    # like point reads do.
+    h = H()
+    cross_shard_commit(h, "w0:1", 0, 5, flush_at=1.0)
+    h.begin("r:1", 9, at=1.5)
+    h._emit("scan", txn="r:1", client="r", table=T, start_row="r0",
+            end_row="r9", column="f", start_ts=9, t0=2.0,
+            rows=[["r1", 5, "a", False], ["r2", 0, "init", False]], at=2.0)
+    assert "cross_shard_atomicity" in kinds(h.events)
+
+
+def test_cross_shard_scan_fully_visible_passes():
+    h = H()
+    cross_shard_commit(h, "w0:1", 0, 5, flush_at=1.0)
+    h.begin("r:1", 9, at=1.5)
+    h._emit("scan", txn="r:1", client="r", table=T, start_row="r0",
+            end_row="r9", column="f", start_ts=9, t0=2.0,
+            rows=[["r1", 5, "a", False], ["r2", 5, "a", False]], at=2.0)
+    report = SIChecker(h.events).check()
+    assert report.ok, report.anomalies
+    assert report.counters["cross_shard_txns"] == 1
+
+
 def test_report_is_deterministic():
     h = H()
     h.committed_write("w0:1", 0, 5, "r1", "a", flush_at=1.0)
@@ -310,6 +337,222 @@ def test_report_is_deterministic():
     second = SIChecker(h.events).check()
     assert first == second
     assert first.to_json() == second.to_json()
+
+
+# ----------------------------------------------------------------------
+# serializability checker fixtures
+# ----------------------------------------------------------------------
+def ser_kinds(events, mode):
+    return sorted(
+        {a.kind for a in SerializabilityChecker(events, mode=mode).check().anomalies}
+    )
+
+
+def _reading_writer(h, txn, start_ts, commit_ts, reads, writes):
+    """begin / reads / writes / attempt / commit in one call.
+
+    ``reads`` is ``[(row, version, value)]``, ``writes`` is
+    ``[(row, value)]`` (empty for a read-only transaction).
+    """
+    h.begin(txn, start_ts)
+    for row, version, value in reads:
+        h.read(txn, start_ts, row, version, value)
+    for row, value in writes:
+        h.write(txn, row, value)
+    h.attempt(txn, start_ts, [(T, row, "f", value) for row, value in writes])
+    h.commit(txn, start_ts, commit_ts, read_only=not writes)
+    return h
+
+
+def test_classic_write_skew_cycle_flagged_under_ssi_only():
+    # The canonical SI anomaly: both txns read {x, y} at the preload and
+    # write the key the *other* one read.  SI commits both (disjoint
+    # write-sets); the DSG has a pure rw-rw 2-cycle, which the ssi audit
+    # must flag and the si audit (>= 2 rw edges: Fekete-legal) must not.
+    h = H()
+    _reading_writer(h, "a:1", 0, 5, [("x", 0, "i"), ("y", 0, "i")], [("y", "a")])
+    _reading_writer(h, "b:1", 0, 6, [("x", 0, "i"), ("y", 0, "i")], [("x", "b")])
+    assert ser_kinds(h.events, "ssi") == ["serializability_cycle"]
+    assert ser_kinds(h.events, "si") == []
+    report = SerializabilityChecker(h.events, mode="si").check()
+    assert report.counters["cycles"] == 1
+    assert report.counters["permitted_si_cycles"] == 1
+    assert report.counters["edges_rw"] == 2
+
+
+def test_read_only_anomaly_cycle_flagged_under_ssi_only():
+    # Fekete's read-only transaction anomaly: the read-only T3 observes
+    # T1's write but not T2's, yet T2 must serialize before T1.  Cycle
+    # T1 -wr-> T3 -rw-> T2 -rw-> T1 with two rw edges: SI-legal, not
+    # serializable.  The read-only txn must be a graph node.
+    h = H()
+    _reading_writer(h, "t1:1", 0, 5, [], [("y", "a")])
+    _reading_writer(h, "t3:1", 5, 6, [("x", 0, "i"), ("y", 5, "a")], [])
+    _reading_writer(h, "t2:1", 0, 10, [("x", 0, "i"), ("y", 0, "i")], [("x", "b")])
+    assert ser_kinds(h.events, "ssi") == ["serializability_cycle"]
+    assert ser_kinds(h.events, "si") == []
+    report = SerializabilityChecker(h.events, mode="ssi").check()
+    assert report.counters["read_only"] == 1
+    [anomaly] = report.anomalies
+    assert anomaly.kind == "serializability_cycle"
+    assert "t1:1" in anomaly.detail and "t3:1" in anomaly.detail
+
+
+def test_three_txn_rw_cycle_flagged_under_ssi_only():
+    # A 3-cycle of pure antidependencies: each txn reads the preload of
+    # the key the next one writes.  No pair conflicts directly, so only
+    # a full-graph cycle search can see it.
+    h = H()
+    _reading_writer(h, "t1:1", 0, 5, [("c", 0, "i")], [("a", "1")])
+    _reading_writer(h, "t2:1", 0, 6, [("a", 0, "i")], [("b", "2")])
+    _reading_writer(h, "t3:1", 0, 7, [("b", 0, "i")], [("c", "3")])
+    assert ser_kinds(h.events, "ssi") == ["serializability_cycle"]
+    assert ser_kinds(h.events, "si") == []
+    report = SerializabilityChecker(h.events, mode="ssi").check()
+    assert report.counters["edges_rw"] == 3
+    assert report.counters["cycles"] == 1
+
+
+def test_dangerous_structure_without_cycle_not_flagged():
+    # T_in -rw-> pivot -rw-> T_out but no path back: live SSI would
+    # conservatively abort this (the classic SSI false positive), yet
+    # the history is serializable, so the oracle must stay silent --
+    # in both modes.  A checker that flagged it would make every SSI
+    # chaos sweep fail on correct behaviour.
+    h = H()
+    _reading_writer(h, "tin:1", 0, 5, [("y", 0, "i")], [("z", "in")])
+    _reading_writer(h, "piv:1", 0, 6, [("x", 0, "i")], [("y", "p")])
+    _reading_writer(h, "tout:1", 0, 7, [], [("x", "out")])
+    report = SerializabilityChecker(h.events, mode="ssi").check()
+    assert report.ok, report.anomalies
+    assert report.counters["edges_rw"] == 2
+    assert report.counters["cycles"] == 0
+    assert ser_kinds(h.events, "si") == []
+
+
+def test_single_rw_cycle_flagged_even_under_si():
+    # T1 writes x and y at ts 5 and is FLUSHED before T2 reads; T2 reads
+    # y@5 (so T1 -wr-> T2) but x at the preload (so T2 -rw-> T1): a
+    # cycle with exactly ONE rw edge.  With T1's flush complete, T2's
+    # miss of x@5 is inexcusable -- its reads were not one snapshot --
+    # so even the lenient si audit must flag the cycle.
+    h = H()
+    h.begin("t1:1", 0)
+    h.write("t1:1", "x", "a").write("t1:1", "y", "a")
+    h.attempt("t1:1", 0, [(T, "x", "f", "a"), (T, "y", "f", "a")])
+    h.commit("t1:1", 0, 5)
+    h.flushed("t1:1", 5, at=0.5)  # before T2's reads at t0=1.0
+    _reading_writer(h, "t2:1", 5, 9, [("y", 5, "a"), ("x", 0, "i")], [("w", "b")])
+    assert ser_kinds(h.events, "si") == ["serializability_cycle"]
+    assert ser_kinds(h.events, "ssi") == ["serializability_cycle"]
+
+
+def test_single_rw_cycle_from_flush_lag_excused_under_si_only():
+    # Same shape, but T1's flush had NOT completed when T2's reads went
+    # out: under "latest" visibility T2 legally read around the
+    # still-in-flight x@5, so the si audit excuses the cycle (and counts
+    # it as permitted), while the ssi audit -- where live certification
+    # rejects fractured snapshots -- still flags it.
+    h = H()
+    h.begin("t1:1", 0)
+    h.write("t1:1", "x", "a").write("t1:1", "y", "a")
+    h.attempt("t1:1", 0, [(T, "x", "f", "a"), (T, "y", "f", "a")])
+    h.commit("t1:1", 0, 5)
+    h.flushed("t1:1", 5, at=3.0)  # after T2's reads at t0=1.0
+    _reading_writer(h, "t2:1", 5, 9, [("y", 5, "a"), ("x", 0, "i")], [("w", "b")])
+    assert ser_kinds(h.events, "si") == []
+    assert ser_kinds(h.events, "ssi") == ["serializability_cycle"]
+    report = SerializabilityChecker(h.events, mode="si").check()
+    assert report.counters["cycles"] == 1
+    assert report.counters["permitted_si_cycles"] == 1
+
+
+def test_serializable_history_is_clean_and_deterministic():
+    # wr and ww edges alone (a serial schedule) never cycle; the report
+    # is byte-stable across runs.
+    h = H()
+    _reading_writer(h, "t1:1", 0, 5, [("x", 0, "i")], [("x", "a")])
+    _reading_writer(h, "t2:1", 5, 8, [("x", 5, "a")], [("x", "b")])
+    _reading_writer(h, "t3:1", 8, 9, [("x", 8, "b")], [])
+    for mode in ("si", "ssi"):
+        first = SerializabilityChecker(h.events, mode=mode).check()
+        second = SerializabilityChecker(h.events, mode=mode).check()
+        assert first.ok, first.anomalies
+        assert first.to_json() == second.to_json()
+    report = SerializabilityChecker(h.events, mode="ssi").check()
+    assert report.counters["edges_ww"] == 1
+    assert report.counters["edges_wr"] == 2
+    # t1 read x@0 and wrote x's direct successor itself: the self rw is
+    # skipped, and t1 -ww-> t2 already orders the chain.
+    assert report.counters["edges_rw"] == 0
+
+
+def test_aborted_and_unacked_txns_stay_out_of_the_graph():
+    # The write-skew shape, but one side aborted and a third txn never
+    # learned its verdict: neither may contribute nodes or edges, so no
+    # cycle survives.
+    h = H()
+    _reading_writer(h, "a:1", 0, 5, [("x", 0, "i"), ("y", 0, "i")], [("y", "a")])
+    h.begin("b:1", 0)
+    h.read("b:1", 0, "x", 0, "i").read("b:1", 0, "y", 0, "i")
+    h.write("b:1", "x", "b")
+    h.attempt("b:1", 0, [(T, "x", "f", "b")])
+    h.abort("b:1", 0)
+    h.begin("c:1", 0)
+    h.write("c:1", "q", "c")
+    h.attempt("c:1", 0, [(T, "q", "f", "c")])  # unacked: no verdict event
+    report = SerializabilityChecker(h.events, mode="ssi").check()
+    assert report.ok, report.anomalies
+    assert report.counters["committed"] == 1
+    assert report.counters["txns"] == 3
+
+
+def test_own_reads_add_no_edges():
+    # Read-your-own-writes must not fabricate rw/wr self-structure.
+    h = H()
+    h.begin("t1:1", 0)
+    h.write("t1:1", "x", "v1")
+    h.read("t1:1", 0, "x", None, "v1", own=True)
+    h.attempt("t1:1", 0, [(T, "x", "f", "v1")])
+    h.commit("t1:1", 0, 5)
+    report = SerializabilityChecker(h.events, mode="ssi").check()
+    assert report.ok, report.anomalies
+    assert report.counters["edges_rw"] == 0
+    assert report.counters["edges_wr"] == 0
+
+
+def test_read_miss_creates_rw_edge_to_first_writer():
+    # A miss is a read of "before everything": the writer that creates
+    # the key serializes after the reader.  Two creators of disjoint
+    # keys, each missing the other's, is write skew over inserts.
+    h = H()
+    h.begin("a:1", 0)
+    h.read("a:1", 0, "p", None, None)
+    h.write("a:1", "q", "a")
+    h.attempt("a:1", 0, [(T, "q", "f", "a")])
+    h.commit("a:1", 0, 5)
+    h.begin("b:1", 0)
+    h.read("b:1", 0, "q", None, None)
+    h.write("b:1", "p", "b")
+    h.attempt("b:1", 0, [(T, "p", "f", "b")])
+    h.commit("b:1", 0, 6)
+    assert ser_kinds(h.events, "ssi") == ["serializability_cycle"]
+    assert ser_kinds(h.events, "si") == []
+
+
+def test_scan_rows_feed_the_serialization_graph():
+    # Write skew where one side's read arrives via a scan row instead of
+    # a point read: the graph must treat returned scan rows as reads.
+    h = H()
+    h.begin("a:1", 0)
+    h._emit("scan", txn="a:1", client="a", table=T, start_row="x",
+            end_row="z", column="f", start_ts=0, t0=0.3,
+            rows=[["x", 0, "i", False], ["y", 0, "i", False]], at=0.3)
+    h.write("a:1", "y", "a")
+    h.attempt("a:1", 0, [(T, "y", "f", "a")])
+    h.commit("a:1", 0, 5)
+    _reading_writer(h, "b:1", 0, 6, [("x", 0, "i"), ("y", 0, "i")], [("x", "b")])
+    assert ser_kinds(h.events, "ssi") == ["serializability_cycle"]
 
 
 # ----------------------------------------------------------------------

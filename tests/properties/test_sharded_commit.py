@@ -202,6 +202,7 @@ def _run_case(seed: int, n_shards: int, stage: str) -> dict:
 SEEDS = list(range(1, 21))
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("seed", SEEDS)
 def test_sharded_commit_upholds_contract(seed):
     n_shards = (2, 4)[seed % 2]

@@ -86,7 +86,15 @@ def main(argv=None) -> int:
                 f"{baseline['simulator']['events']}"
             )
     else:
-        print("scenario differs from baseline; skipping semantic checks")
+        base_iso = (baseline.get("scenario") or {}).get("isolation", "si")
+        fresh_iso = (fresh.get("scenario") or {}).get("isolation", "si")
+        if base_iso != fresh_iso:
+            print(
+                f"isolation modes differ (baseline {base_iso}, fresh "
+                f"{fresh_iso}); skipping semantic checks"
+            )
+        else:
+            print("scenario differs from baseline; skipping semantic checks")
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
